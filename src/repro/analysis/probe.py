@@ -1,0 +1,172 @@
+"""GFW-acceptance probing (§5.3, censor half of Table 3).
+
+The server-side enumeration yields packets the server *ignores*; a
+candidate only becomes an insertion packet if the GFW still *accepts*
+it — "the GFW updates its TCB according to the information in the
+packet".  :class:`GFWHarness` builds a live device on a tap, replays the
+connection prefix that establishes the target GFW state, fires the
+candidate carrying a junk payload at the expected sequence position,
+and reads acceptance from the device's own flow state (did
+``client_next_seq`` advance past the junk? did the TCB die?).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netstack.packet import ACK, IPPacket, SYN, TCPSegment, seq_add
+from repro.netsim.network import Network, Path
+from repro.netsim.node import Host
+from repro.netsim.simclock import SimClock
+from repro.gfw.device import GFWDevice
+from repro.gfw.flow import GFWFlowState
+from repro.gfw.models import GFWConfig, evolved_config
+from repro.analysis.ignore_paths import (
+    CLIENT_IP,
+    CLIENT_PORT,
+    SERVER_IP,
+    SERVER_PORT,
+    IgnoreProbe,
+)
+
+
+class GFWHarness:
+    """A GFW device on a clean path, with scripted endpoints."""
+
+    def __init__(
+        self, config: Optional[GFWConfig] = None, seed: int = 7
+    ) -> None:
+        self.clock = SimClock()
+        self.network = Network(clock=self.clock, rng=random.Random(seed))
+        self.client = self.network.add_host(Host(CLIENT_IP, "gfw-probe-client"))
+        self.server = self.network.add_host(Host(SERVER_IP, "gfw-probe-server"))
+        self.path = Path(CLIENT_IP, SERVER_IP, hop_count=6, base_delay=0.006)
+        self.network.add_path(self.path)
+        config = config or evolved_config()
+        config.miss_probability = 0.0
+        self.device = GFWDevice(
+            "gfw-probe", hop=3, config=config, clock=self.clock,
+            rng=random.Random(seed + 1),
+        )
+        self.device.cluster.miss_probability = 0.0
+        self.path.add_element(self.device)
+        self.rng = random.Random(seed + 2)
+        self.client_isn = self.rng.randrange(2**32)
+        self.server_isn = self.rng.randrange(2**32)
+
+    # -- scripted packets ---------------------------------------------------
+    def _client_segment(self, flags: int, seq: int, ack: int = 0,
+                        payload: bytes = b"") -> TCPSegment:
+        return TCPSegment(
+            src_port=CLIENT_PORT, dst_port=SERVER_PORT,
+            seq=seq, ack=ack, flags=flags, payload=payload,
+        )
+
+    def send_from_client(self, segment: TCPSegment) -> None:
+        self.client.send(IPPacket(src=CLIENT_IP, dst=SERVER_IP, payload=segment))
+        self.clock.run_for(0.05)
+
+    def send_from_server(self, segment: TCPSegment) -> None:
+        self.server.send(IPPacket(src=SERVER_IP, dst=CLIENT_IP, payload=segment))
+        self.clock.run_for(0.05)
+
+    def establish(self) -> None:
+        """Replay a clean 3-way handshake past the device."""
+        self.send_from_client(self._client_segment(SYN, seq=self.client_isn))
+        synack = TCPSegment(
+            src_port=SERVER_PORT, dst_port=CLIENT_PORT,
+            seq=self.server_isn, ack=seq_add(self.client_isn, 1),
+            flags=SYN | ACK,
+        )
+        self.send_from_server(synack)
+        self.send_from_client(
+            self._client_segment(
+                ACK, seq=seq_add(self.client_isn, 1),
+                ack=seq_add(self.server_isn, 1),
+            )
+        )
+
+    def flow(self):
+        return self.device.flow_for(
+            CLIENT_IP, CLIENT_PORT, SERVER_IP, SERVER_PORT
+        )
+
+    def client_snd_nxt(self) -> int:
+        return seq_add(self.client_isn, 1)
+
+    def client_rcv_nxt(self) -> int:
+        return seq_add(self.server_isn, 1)
+
+
+@dataclass
+class GFWProbeResult:
+    probe_name: str
+    accepted: bool
+    gfw_state_after: str
+
+
+def gfw_accepts_probe(
+    probe: IgnoreProbe,
+    config: Optional[GFWConfig] = None,
+    seed: int = 7,
+) -> GFWProbeResult:
+    """Does the GFW process this candidate insertion packet?
+
+    A *data* candidate counts as accepted when the device's expected
+    client sequence number advances past the junk payload.  A *control*
+    candidate (RST/FIN flavors) counts as accepted when the device's TCB
+    is deleted or moved to the resynchronization state.
+    """
+    harness = GFWHarness(config=config, seed=seed)
+    harness.establish()
+    flow_before = harness.flow()
+    assert flow_before is not None, "handshake did not create a GFW flow"
+    seq_before = flow_before.client_next_seq
+    state_before = flow_before.state
+
+    # Rebuild the probe packet against this harness's sequence numbers.
+    packet = _adapt_probe(probe, harness)
+    harness.client.send(packet)
+    harness.clock.run_for(0.05)
+
+    flow_after = harness.flow()
+    if flow_after is None:
+        return GFWProbeResult(probe.name, True, "TCB deleted")
+    if flow_after.state is GFWFlowState.RESYNC and state_before is not GFWFlowState.RESYNC:
+        return GFWProbeResult(probe.name, True, "RESYNC")
+    advanced = flow_after.client_next_seq != seq_before
+    return GFWProbeResult(
+        probe.name, advanced, flow_after.state.value
+    )
+
+
+def _adapt_probe(probe: IgnoreProbe, harness: GFWHarness) -> IPPacket:
+    """Build the probe packet with this harness's connection numbers.
+
+    The probe builders were written against :class:`ServerHarness`'s
+    interface; :class:`GFWHarness` quacks the same where needed.
+    """
+
+    class _Adapter:
+        client_isn = harness.client_isn
+        client_tsval = 1_000_000
+
+        @staticmethod
+        def _segment(flags, seq, ack=0, payload=b"", options=None):
+            return TCPSegment(
+                src_port=CLIENT_PORT, dst_port=SERVER_PORT,
+                seq=seq, ack=ack, flags=flags, payload=payload,
+                options=list(options or []),
+            )
+
+        @staticmethod
+        def snd_nxt():
+            return harness.client_snd_nxt()
+
+        @staticmethod
+        def rcv_nxt():
+            return harness.client_rcv_nxt()
+
+    return probe.build(_Adapter())  # type: ignore[arg-type]

@@ -1,0 +1,322 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+::
+
+    python -m repro list                    # what can be regenerated
+    python -m repro table1 --sites 20       # Table 1 at chosen scale
+    python -m repro table2 .. table6
+    python -m repro matrix                  # strategy × GFW-generation
+    python -m repro probe [--model old]     # GFW responsiveness probe
+    python -m repro trial --strategy tcb-teardown+tcb-reversal
+    python -m repro ladder --figure 3       # Fig. 3/4 packet ladders
+
+Everything prints to stdout; sizes are small by default so each command
+finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.strategies.registry import STRATEGY_REGISTRY
+
+    print("Artifacts: table1 table2 table3 table4 table5 table6 matrix "
+          "probe trial ladder")
+    print("\nStrategies:")
+    for strategy_id in sorted(STRATEGY_REGISTRY):
+        print(f"  {strategy_id}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        CHINA_VANTAGE_POINTS,
+        DEFAULT_CALIBRATION,
+        outside_china_catalog,
+        run_strategy_cell,
+    )
+    from repro.experiments.tables import format_table1
+    from repro.strategies.registry import TABLE1_ROWS
+
+    sites = outside_china_catalog(count=args.sites)
+    results = []
+    for label, strategy_id, discrepancy in TABLE1_ROWS:
+        with_kw = run_strategy_cell(
+            strategy_id, CHINA_VANTAGE_POINTS, sites, DEFAULT_CALIBRATION,
+            repeats=args.repeats, seed=args.seed, keyword=True,
+        )
+        without_kw = run_strategy_cell(
+            strategy_id, CHINA_VANTAGE_POINTS, sites, DEFAULT_CALIBRATION,
+            repeats=args.repeats, seed=args.seed + 1, keyword=False,
+        )
+        results.append((label, discrepancy, with_kw, without_kw))
+        print(".", end="", flush=True, file=sys.stderr)
+    print(file=sys.stderr)
+    print(format_table1(results))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.middlebox_probe import probe_all
+    from repro.experiments.tables import format_table2
+    from repro.experiments.vantage import CHINA_VANTAGE_POINTS
+
+    print(format_table2(probe_all(CHINA_VANTAGE_POINTS)))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.analysis import generate_table3
+    from repro.experiments.tables import format_table3
+
+    rows = generate_table3()
+    print(format_table3([row.as_tuple() for row in rows]))
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        CHINA_VANTAGE_POINTS,
+        DEFAULT_CALIBRATION,
+        outside_china_catalog,
+        run_table4_row,
+    )
+    from repro.experiments.tables import format_table4
+    from repro.strategies.registry import TABLE4_STRATEGIES
+
+    sites = outside_china_catalog(count=args.sites)
+    rows = []
+    for label, strategy_id in TABLE4_STRATEGIES:
+        rows.append((
+            label,
+            run_table4_row(strategy_id, CHINA_VANTAGE_POINTS, sites,
+                           DEFAULT_CALIBRATION, repeats=args.repeats,
+                           seed=args.seed),
+        ))
+        print(".", end="", flush=True, file=sys.stderr)
+    rows.append((
+        "INTANG Performance",
+        run_table4_row(None, CHINA_VANTAGE_POINTS, sites, DEFAULT_CALIBRATION,
+                       repeats=max(4, args.repeats), seed=args.seed,
+                       adaptive=True),
+    ))
+    print(file=sys.stderr)
+    print(format_table4(rows, title="Table 4 (inside China)"))
+    return 0
+
+
+def _cmd_table5(args: argparse.Namespace) -> int:
+    from repro.analysis import derive_table5
+    from repro.experiments.tables import format_table5
+
+    print(format_table5(derive_table5()))
+    return 0
+
+
+def _cmd_table6(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        CHINA_VANTAGE_POINTS,
+        DEFAULT_CALIBRATION,
+        DYN_RESOLVERS,
+        run_dns_trial,
+    )
+    from repro.experiments.tables import format_table6
+
+    rows = []
+    for resolver in DYN_RESOLVERS:
+        per_vantage = {}
+        for vantage in CHINA_VANTAGE_POINTS:
+            successes = sum(
+                run_dns_trial(vantage, resolver,
+                              calibration=DEFAULT_CALIBRATION, seed=s).success
+                for s in range(args.queries)
+            )
+            per_vantage[vantage.name] = successes / args.queries
+        except_tj = [r for n, r in per_vantage.items() if n != "unicom-tianjin"]
+        rows.append((resolver.name, resolver.ip,
+                     sum(except_tj) / len(except_tj),
+                     sum(per_vantage.values()) / len(per_vantage)))
+    print(format_table6(rows))
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    import os
+
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), "..", "..", "tests")
+    )
+    from repro.core.intang import INTANG
+    from repro.experiments.tables import render_table
+    from repro.gfw import evolved_config, old_config
+    from repro.strategies.registry import STRATEGY_REGISTRY
+
+    try:
+        from helpers import fetch, mini_topology
+    except ImportError:
+        print("matrix requires the repository checkout (tests/helpers.py)",
+              file=sys.stderr)
+        return 2
+
+    rows = []
+    for strategy_id in sorted(STRATEGY_REGISTRY):
+        cells = [strategy_id]
+        for model_config in (old_config, evolved_config):
+            world = mini_topology(gfw_config=model_config(), seed=args.seed)
+            INTANG(host=world.client, tcp_host=world.client_tcp,
+                   clock=world.clock, network=world.network,
+                   fixed_strategy=strategy_id,
+                   rng=random.Random(args.seed + 7))
+            exchange = fetch(world)
+            if world.gfw.detections:
+                cells.append("caught")
+            elif exchange.got_response:
+                cells.append("EVADES")
+            else:
+                cells.append("broken")
+        rows.append(cells)
+    print(render_table(["Strategy", "old GFW", "evolved GFW"], rows))
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    import os
+
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), "..", "..", "tests")
+    )
+    from repro.core.responsiveness import ResponsivenessProbe
+    from repro.gfw import evolved_config, old_config
+
+    try:
+        from helpers import SERVER_IP, mini_topology
+    except ImportError:
+        print("probe requires the repository checkout (tests/helpers.py)",
+              file=sys.stderr)
+        return 2
+
+    config = old_config(reset_type=2) if args.model == "old" else evolved_config()
+    world = mini_topology(gfw_config=config, with_gfw=not args.clean,
+                          seed=args.seed)
+    probe = ResponsivenessProbe(world.client, world.client_tcp, world.clock,
+                                rng=random.Random(args.seed))
+    print(probe.probe(SERVER_IP).summary())
+    return 0
+
+
+def _cmd_trial(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        DEFAULT_CALIBRATION,
+        outside_china_catalog,
+        run_http_trial,
+        vantage_by_name,
+    )
+
+    vantage = vantage_by_name(args.vantage)
+    website = outside_china_catalog()[args.site]
+    record = run_http_trial(vantage, website, args.strategy,
+                            DEFAULT_CALIBRATION, seed=args.seed)
+    print(f"vantage={record.vantage} target={record.target} "
+          f"strategy={record.strategy_id}")
+    print(f"outcome={record.outcome.value} detections={record.detections} "
+          f"drift={record.drift}")
+    return 0 if record.outcome.value == "success" else 1
+
+
+def _cmd_ladder(args: argparse.Namespace) -> int:
+    import os
+
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), "..", "..", "tests")
+    )
+    from repro.core.intang import INTANG
+
+    try:
+        from helpers import fetch, mini_topology
+    except ImportError:
+        print("ladder requires the repository checkout (tests/helpers.py)",
+              file=sys.stderr)
+        return 2
+
+    strategy = ("tcb-creation+resync-desync" if args.figure == 3
+                else "tcb-teardown+tcb-reversal")
+    world = mini_topology(seed=args.seed, trace=True)
+    INTANG(host=world.client, tcp_host=world.client_tcp, clock=world.clock,
+           network=world.network, fixed_strategy=strategy,
+           rng=random.Random(args.seed))
+    exchange = fetch(world)
+    print(f"Fig. {args.figure}: {strategy} — "
+          f"{'evaded' if exchange.got_response else 'failed'}\n")
+    print(world.trace.format_ladder())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts from 'Your State is Not Mine' (IMC '17).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list artifacts and strategies")
+
+    for name in ("table1", "table4"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--sites", type=int, default=12)
+        p.add_argument("--repeats", type=int, default=1)
+        p.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("table2", help="regenerate table 2")
+    sub.add_parser("table3", help="regenerate table 3")
+    sub.add_parser("table5", help="regenerate table 5")
+    p = sub.add_parser("table6", help="regenerate table 6")
+    p.add_argument("--queries", type=int, default=15)
+
+    p = sub.add_parser("matrix", help="strategy × GFW-generation matrix")
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("probe", help="GFW responsiveness probe")
+    p.add_argument("--model", choices=("old", "evolved"), default="evolved")
+    p.add_argument("--clean", action="store_true",
+                   help="probe an uncensored path")
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("trial", help="one HTTP trial")
+    p.add_argument("--strategy", default="tcb-teardown+tcb-reversal")
+    p.add_argument("--vantage", default="aliyun-beijing")
+    p.add_argument("--site", type=int, default=0)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("ladder", help="Fig. 3/4 packet ladder")
+    p.add_argument("--figure", type=int, choices=(3, 4), default=3)
+    p.add_argument("--seed", type=int, default=8)
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "table6": _cmd_table6,
+    "matrix": _cmd_matrix,
+    "probe": _cmd_probe,
+    "trial": _cmd_trial,
+    "ladder": _cmd_ladder,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

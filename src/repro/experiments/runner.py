@@ -1,0 +1,492 @@
+"""Trial runner and outcome classification (§3.3 / §3.4 notation).
+
+"Success means that we receive the HTTP response from the server and
+receive no reset packets from the GFW.  Failure 1 means that we receive
+no HTTP response from the server nor do we receive any resets from the
+GFW.  Failure 2 means that we receive reset packets from the GFW."
+
+One call to :func:`run_http_trial` is one row-cell repetition: a fresh
+topology is built (equivalent to the paper's inter-test intervals that
+let the 90-second blacklist lapse), INTANG measures the hop count, the
+route possibly drifts out from under that measurement, the client
+requests a page whose URL carries (or not) the sensitive keyword, and
+the outcome is classified from the client's viewpoint only — exactly
+what a real measurement client can see.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.cache import KeyValueStore
+from repro.core.intang import INTANG
+from repro.core.selection import StrategySelector
+from repro.apps.dns import DNSUdpClient
+from repro.apps.http import HTTPClient
+from repro.apps.tor import TorClient
+from repro.apps.vpn import OpenVPNClient
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.scenarios import HONEST_DNS_ANSWER, Scenario, build_scenario
+from repro.experiments.vantage import VantagePoint
+from repro.experiments.websites import Resolver, Website
+
+#: The keyword the paper probes with (§3.3).
+SENSITIVE_PATH = "/?search=ultrasurf"
+BENIGN_PATH = "/index.html"
+
+#: §7.2: Tianjin's resolver paths cross equipment that adopts forged
+#: RSTs often enough to push success down to the observed 24-38 %
+#: (two redundant RSTs must both fail to poison it: (1-p)^2 ≈ 0.30).
+TIANJIN_DNS_FIREWALL_TEARDOWN = 0.45
+
+
+class Outcome(enum.Enum):
+    SUCCESS = "success"
+    FAILURE1 = "failure1"  # silence: no response, no GFW resets
+    FAILURE2 = "failure2"  # GFW resets observed
+
+
+@dataclass
+class TrialRecord:
+    outcome: Outcome
+    strategy_id: str
+    vantage: str
+    target: str
+    keyword: bool
+    drift: Optional[str] = None
+    detections: int = 0
+    #: Best-effort failure attribution (the §3.4 "microscopic study" of
+    #: failure cases, automated): None on success.
+    diagnosis: Optional[str] = None
+
+
+def diagnose_failure(scenario: Scenario, outcome: Outcome) -> Optional[str]:
+    """Attribute a failed trial to its most likely §3.4 cause.
+
+    Heuristics mirror the paper's failure taxonomy: Failure 2 is a
+    detection (or an insertion that never reached the censor); Failure 1
+    is middlebox state poisoning, an insertion hitting the server, a
+    server that swallowed the junk, or plain loss.
+    """
+    from repro.middlebox.boxes import StatefulFirewallBox
+    from repro.tcp.stack import CloseReason
+
+    if outcome is Outcome.SUCCESS:
+        return None
+    if outcome is Outcome.FAILURE2:
+        kinds = sorted(
+            {
+                str(p.meta.get("origin", "gfw")).replace("gfw-", "")
+                for p in scenario.gfw_packets_at_client
+            }
+        )
+        return f"keyword-detected ({'+'.join(kinds)} resets)"
+    for element in scenario.path.elements:
+        if isinstance(element, StatefulFirewallBox) and element.packets_blocked:
+            return "client-side-firewall-blackhole"
+    for connection in scenario.server_tcp.connections.values():
+        if connection.close_reason is CloseReason.RESET:
+            return "insertion-packet-reset-server"
+    if scenario.http_server is not None:
+        served = scenario.http_server.requests_served
+        got_data = any(
+            connection.application_data
+            for connection in scenario.server_tcp.connections.values()
+        )
+        if served == 0 and got_data:
+            return "server-consumed-junk-data"
+    if scenario.path.loss_rate > 0.2:
+        return "loss-burst"
+    return "silent (loss or unreached server)"
+
+
+def classify(got_response: bool, gfw_resets: int) -> Outcome:
+    if gfw_resets > 0:
+        return Outcome.FAILURE2
+    if got_response:
+        return Outcome.SUCCESS
+    return Outcome.FAILURE1
+
+
+def make_persistent_selector(priority: Optional[Sequence[str]] = None) -> StrategySelector:
+    """A selector whose memory survives across (fresh-clock) trials."""
+    from repro.strategies.registry import DEFAULT_PRIORITY
+
+    counter = [0.0]
+
+    def time_source() -> float:
+        counter[0] += 1.0
+        return counter[0]
+
+    store = KeyValueStore(time_source=time_source)
+    return StrategySelector(store, priority=list(priority or DEFAULT_PRIORITY))
+
+
+# ---------------------------------------------------------------------------
+# HTTP (Tables 1 and 4)
+# ---------------------------------------------------------------------------
+def run_http_trial(
+    vantage: VantagePoint,
+    website: Website,
+    strategy_id: Optional[str],
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+    keyword: bool = True,
+    selector: Optional[StrategySelector] = None,
+) -> TrialRecord:
+    """One request; ``strategy_id=None`` lets INTANG's selector choose."""
+    scenario = build_scenario(
+        vantage=vantage, website=website, calibration=calibration,
+        seed=seed, workload="http",
+    )
+    intang = INTANG(
+        host=scenario.client,
+        tcp_host=scenario.client_tcp,
+        clock=scenario.clock,
+        network=scenario.network,
+        rng=random.Random(seed ^ 0x5EED),
+        fixed_strategy=strategy_id,
+        hop_delta=calibration.hop_delta,
+        selector=selector,
+    )
+    if intang.hop_estimator is not None:
+        intang.hop_estimator.measure(website.ip)
+        if (
+            not vantage.inside_china
+            and scenario.rng.random() < calibration.outside_ttl_error_probability
+        ):
+            # §7.1: on outside-China routes the hop measurement is hard
+            # to get right; an overshoot sends TTL-limited insertions
+            # all the way to the (nearly co-located) server.
+            intang.hop_estimator.adjust(website.ip, +2)
+    drift = scenario.apply_route_drift()
+    client = HTTPClient(scenario.client_tcp)
+    _conn, exchange = client.get(
+        website.ip,
+        host=website.name,
+        path=SENSITIVE_PATH if keyword else BENIGN_PATH,
+    )
+    scenario.run()
+    outcome = classify(exchange.got_response, scenario.gfw_resets_received())
+    used = intang.last_strategy_for(website.ip) or (strategy_id or "none")
+    if selector is not None:
+        intang.report_result(website.ip, outcome is Outcome.SUCCESS)
+    return TrialRecord(
+        outcome=outcome,
+        strategy_id=used,
+        vantage=vantage.name,
+        target=website.name,
+        keyword=keyword,
+        drift=drift,
+        detections=scenario.gfw_detections(),
+        diagnosis=diagnose_failure(scenario, outcome),
+    )
+
+
+@dataclass
+class RateTriple:
+    """Aggregated Success / Failure-1 / Failure-2 rates."""
+
+    success: float = 0.0
+    failure1: float = 0.0
+    failure2: float = 0.0
+    trials: int = 0
+
+    @classmethod
+    def from_outcomes(cls, outcomes: Iterable[Outcome]) -> "RateTriple":
+        counts = {Outcome.SUCCESS: 0, Outcome.FAILURE1: 0, Outcome.FAILURE2: 0}
+        total = 0
+        for outcome in outcomes:
+            counts[outcome] += 1
+            total += 1
+        if total == 0:
+            return cls()
+        return cls(
+            success=counts[Outcome.SUCCESS] / total,
+            failure1=counts[Outcome.FAILURE1] / total,
+            failure2=counts[Outcome.FAILURE2] / total,
+            trials=total,
+        )
+
+    def as_percentages(self) -> Tuple[float, float, float]:
+        return (self.success * 100, self.failure1 * 100, self.failure2 * 100)
+
+
+def run_strategy_cell(
+    strategy_id: str,
+    vantages: Sequence[VantagePoint],
+    websites: Sequence[Website],
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    repeats: int = 1,
+    seed: int = 0,
+    keyword: bool = True,
+) -> RateTriple:
+    """One Table 1 cell: a strategy across vantage × site × repeats."""
+    outcomes: List[Outcome] = []
+    for v_index, vantage in enumerate(vantages):
+        for w_index, website in enumerate(websites):
+            for repeat in range(repeats):
+                trial_seed = (
+                    seed * 1_000_003 + v_index * 10_007 + w_index * 101 + repeat
+                ) ^ (hash(strategy_id) & 0xFFFF)
+                record = run_http_trial(
+                    vantage, website, strategy_id, calibration,
+                    seed=trial_seed, keyword=keyword,
+                )
+                outcomes.append(record.outcome)
+    return RateTriple.from_outcomes(outcomes)
+
+
+@dataclass
+class PerVantageRates:
+    """Per-vantage success rates, summarized as Table 4's min/max/avg."""
+
+    rates: Dict[str, RateTriple] = field(default_factory=dict)
+
+    def _extremes(self, attribute: str) -> Tuple[float, float, float]:
+        values = [getattr(rate, attribute) for rate in self.rates.values()]
+        if not values:
+            return (0.0, 0.0, 0.0)
+        return (min(values) * 100, max(values) * 100, sum(values) / len(values) * 100)
+
+    def success_min_max_avg(self) -> Tuple[float, float, float]:
+        return self._extremes("success")
+
+    def failure1_min_max_avg(self) -> Tuple[float, float, float]:
+        return self._extremes("failure1")
+
+    def failure2_min_max_avg(self) -> Tuple[float, float, float]:
+        return self._extremes("failure2")
+
+
+def run_cell_by_provider(
+    strategy_id: str,
+    vantages: Sequence[VantagePoint],
+    websites: Sequence[Website],
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    repeats: int = 1,
+    seed: int = 0,
+    keyword: bool = True,
+) -> Dict[str, RateTriple]:
+    """One strategy's rates broken down by provider profile.
+
+    §7.1 observes that "both the Failures 1 and Failures 2 always happen
+    with regards to a few specific websites/IPs" and vantage points; the
+    per-provider view makes middlebox-driven asymmetries (e.g. Tianjin's
+    sanitizers, Aliyun's fragment policy) directly visible.
+    """
+    outcomes_by_provider: Dict[str, List[Outcome]] = {}
+    for v_index, vantage in enumerate(vantages):
+        bucket = outcomes_by_provider.setdefault(vantage.provider_profile, [])
+        for w_index, website in enumerate(websites):
+            for repeat in range(repeats):
+                trial_seed = (
+                    seed * 1_000_003 + v_index * 10_007 + w_index * 101 + repeat
+                ) ^ (hash(strategy_id) & 0xFFFF)
+                record = run_http_trial(
+                    vantage, website, strategy_id, calibration,
+                    seed=trial_seed, keyword=keyword,
+                )
+                bucket.append(record.outcome)
+    return {
+        provider: RateTriple.from_outcomes(outcomes)
+        for provider, outcomes in outcomes_by_provider.items()
+    }
+
+
+def run_table4_row(
+    strategy_id: Optional[str],
+    vantages: Sequence[VantagePoint],
+    websites: Sequence[Website],
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    repeats: int = 1,
+    seed: int = 0,
+    adaptive: bool = False,
+) -> PerVantageRates:
+    """One Table 4 row; ``adaptive=True`` is the "INTANG Performance" row
+    (the selector carries measurement history across repeats)."""
+    result = PerVantageRates()
+    for v_index, vantage in enumerate(vantages):
+        outcomes: List[Outcome] = []
+        selector = make_persistent_selector() if adaptive else None
+        for w_index, website in enumerate(websites):
+            for repeat in range(repeats):
+                trial_seed = (
+                    seed * 1_000_003 + v_index * 10_007 + w_index * 101 + repeat
+                ) ^ (hash(strategy_id or "intang") & 0xFFFF)
+                record = run_http_trial(
+                    vantage, website,
+                    None if adaptive else strategy_id,
+                    calibration, seed=trial_seed, keyword=True,
+                    selector=selector,
+                )
+                outcomes.append(record.outcome)
+        result.rates[vantage.name] = RateTriple.from_outcomes(outcomes)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# DNS over TCP (Table 6)
+# ---------------------------------------------------------------------------
+@dataclass
+class DNSTrialResult:
+    answered: bool
+    answer: Optional[str]
+    poisoned: bool
+
+    @property
+    def success(self) -> bool:
+        return self.answered and not self.poisoned and self.answer == HONEST_DNS_ANSWER
+
+
+def run_dns_trial(
+    vantage: VantagePoint,
+    resolver: Resolver,
+    strategy_id: Optional[str] = "improved-tcb-teardown",
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+    domain: str = "www.dropbox.com",
+    use_intang: bool = True,
+) -> DNSTrialResult:
+    """Resolve a censored domain once, through INTANG's DNS forwarder.
+
+    Success is the paper's: the honest answer arrives (no poisoning, no
+    TCP reset).  Without INTANG the UDP query is poisoned in flight.
+    """
+    # §7.2 measured two *specific* resolver routes: interference was
+    # seen only from Tianjin, so the firewall is forced there and
+    # forced absent elsewhere rather than drawn from the population.
+    force_firewall: Optional[bool] = False
+    firewall_teardown = 1.0
+    if vantage.name == "unicom-tianjin":
+        force_firewall = True
+        firewall_teardown = TIANJIN_DNS_FIREWALL_TEARDOWN
+    scenario = build_scenario(
+        vantage=vantage, resolver=resolver, calibration=calibration,
+        seed=seed, workload="dns",
+        force_firewall=force_firewall,
+        firewall_teardown_probability=firewall_teardown,
+    )
+    if use_intang:
+        INTANG(
+            host=scenario.client,
+            tcp_host=scenario.client_tcp,
+            clock=scenario.clock,
+            network=scenario.network,
+            rng=random.Random(seed ^ 0xD5),
+            fixed_strategy=strategy_id,
+            hop_delta=calibration.hop_delta,
+            dns_resolver_ip=resolver.ip,
+        )
+    assert scenario.udp_client is not None
+    client = DNSUdpClient(scenario.udp_client, resolver.ip, scenario.clock)
+    answers: List[str] = []
+    client.resolve(domain, lambda message: answers.extend(message.answers))
+    scenario.run()
+    answered = bool(answers)
+    answer = answers[0] if answers else None
+    return DNSTrialResult(
+        answered=answered,
+        answer=answer,
+        poisoned=answered and answer != HONEST_DNS_ANSWER,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tor and VPN (§7.3)
+# ---------------------------------------------------------------------------
+@dataclass
+class TorTrialResult:
+    first_circuit_ok: bool
+    probe_launched: bool
+    ip_blocked: bool
+    reconnect_ok: bool
+
+
+def run_tor_trial(
+    vantage: VantagePoint,
+    bridge_site: Website,
+    strategy_id: Optional[str] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+) -> TorTrialResult:
+    """Open a circuit, wait out the probe window, try to reconnect.
+
+    ``strategy_id=None`` means bare Tor; with a strategy INTANG hides the
+    handshake fingerprint from the GFW so no probe ever fires.
+    """
+    scenario = build_scenario(
+        vantage=vantage, website=bridge_site, calibration=calibration,
+        seed=seed, workload="tor",
+    )
+    if strategy_id is not None:
+        INTANG(
+            host=scenario.client,
+            tcp_host=scenario.client_tcp,
+            clock=scenario.clock,
+            network=scenario.network,
+            rng=random.Random(seed ^ 0x70),
+            fixed_strategy=strategy_id,
+            hop_delta=calibration.hop_delta,
+        )
+    client = TorClient(scenario.client_tcp)
+    first = client.open_circuit(bridge_site.ip)
+    scenario.run(6.0)  # roomy window for detection + active probe
+    probes = [
+        probe
+        for device in scenario.gfw_devices
+        if device.active_prober is not None
+        for probe in device.active_prober.probes
+    ]
+    blocked = any(
+        bridge_site.ip in device.blocked_ips for device in scenario.gfw_devices
+    )
+    second = client.open_circuit(bridge_site.ip)
+    scenario.run(6.0)
+    return TorTrialResult(
+        first_circuit_ok=first.established and first.cells_relayed > 0,
+        probe_launched=bool(probes),
+        ip_blocked=blocked,
+        reconnect_ok=second.established and second.cells_relayed > 0,
+    )
+
+
+@dataclass
+class VPNTrialResult:
+    established: bool
+    frames_ok: bool
+    reset: bool
+
+
+def run_vpn_trial(
+    vantage: VantagePoint,
+    vpn_site: Website,
+    strategy_id: Optional[str] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+) -> VPNTrialResult:
+    scenario = build_scenario(
+        vantage=vantage, website=vpn_site, calibration=calibration,
+        seed=seed, workload="vpn",
+    )
+    if strategy_id is not None:
+        INTANG(
+            host=scenario.client,
+            tcp_host=scenario.client_tcp,
+            clock=scenario.clock,
+            network=scenario.network,
+            rng=random.Random(seed ^ 0x4A),
+            fixed_strategy=strategy_id,
+            hop_delta=calibration.hop_delta,
+        )
+    client = OpenVPNClient(scenario.client_tcp)
+    session = client.open_session(vpn_site.ip)
+    scenario.run(8.0)
+    return VPNTrialResult(
+        established=session.established,
+        frames_ok=session.payload_frames > 0,
+        reset=session.reset or scenario.gfw_resets_received() > 0,
+    )

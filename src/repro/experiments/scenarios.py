@@ -1,0 +1,362 @@
+"""Scenario builders: assemble Fig. 1's threat model as a live topology.
+
+One scenario = one client (a vantage point) + one target (a website,
+resolver, Tor bridge, or VPN server) joined by a multi-hop path carrying
+the vantage's client-side middleboxes (Table 2) and a GFW installation
+whose composition (device generations, reassembly quirks, NB3 coin) is
+drawn from the :class:`~repro.experiments.calibration.Calibration`.
+
+Scenarios are cheap, disposable objects: the experiment runner builds a
+fresh one per trial, which both isolates trials (no 90-second blacklist
+bleed) and re-draws the per-installation behaviour coins — matching the
+paper's observation that GFW behaviour is consistent within a period but
+varies across periods.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace as dataclass_replace
+from typing import List, Optional
+
+from repro.netstack.fragment import OverlapPolicy
+from repro.netstack.packet import IPPacket
+from repro.netsim.network import Network, Path
+from repro.netsim.node import Host
+from repro.netsim.simclock import SimClock
+from repro.netsim.trace import TraceRecorder
+from repro.tcp.profiles import profile_by_name
+from repro.tcp.stack import TCPHost
+from repro.middlebox.boxes import StatefulFirewallBox
+from repro.gfw.active_prober import ActiveProber
+from repro.gfw.cluster import GFWCluster
+from repro.gfw.device import GFWDevice
+from repro.gfw.dns_poisoner import DNSPoisoner
+from repro.gfw.models import GFWConfig, evolved_config, old_config
+from repro.apps.http import HTTPServer
+from repro.apps.dns import DNSTcpResolver, DNSUdpResolver
+from repro.apps.tor import TorBridge
+from repro.apps.udp import UDPHost
+from repro.apps.vpn import OpenVPNServer
+from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.vantage import VantagePoint
+from repro.experiments.websites import Resolver, Website
+
+#: Hop index where the vantage provider's equipment sits.
+CLIENT_MIDDLEBOX_HOP = 2
+#: Hop index for optional stateful firewalls (client side, past the NAT).
+FIREWALL_HOP = 3
+
+#: The real answer our simulated resolvers return for censored domains.
+HONEST_DNS_ANSWER = "104.16.100.29"
+
+
+@dataclass
+class Scenario:
+    """A fully wired client/GFW/server topology for one trial."""
+
+    clock: SimClock
+    network: Network
+    rng: random.Random
+    vantage: VantagePoint
+    calibration: Calibration
+    path: Path
+    client: Host
+    server: Host
+    client_tcp: TCPHost
+    server_tcp: TCPHost
+    gfw_devices: List[GFWDevice]
+    cluster: GFWCluster
+    website: Optional[Website] = None
+    resolver: Optional[Resolver] = None
+    trace: Optional[TraceRecorder] = None
+    #: GFW-forged packets that reached the client (set by the sniffer).
+    gfw_packets_at_client: List[IPPacket] = field(default_factory=list)
+    http_server: Optional[HTTPServer] = None
+    udp_client: Optional[UDPHost] = None
+    udp_server: Optional[UDPHost] = None
+    tor_bridge: Optional[TorBridge] = None
+    vpn_server: Optional[OpenVPNServer] = None
+
+    def run(self, duration: Optional[float] = None) -> None:
+        self.clock.run_for(duration or self.calibration.trial_duration)
+
+    def apply_route_drift(self) -> Optional[str]:
+        """Maybe drift the route (call *after* hop measurement).
+
+        Returns a description of the applied drift, or None.
+        """
+        probability = (
+            self.calibration.route_drift_probability
+            if self.vantage.inside_china
+            else self.calibration.route_drift_probability_outside
+        )
+        if self.rng.random() >= probability:
+            return None
+        choices = (
+            self.calibration.drift_choices
+            if self.vantage.inside_china
+            else self.calibration.outside_drift_choices
+        )
+        total = sum(weight for _, _, weight in choices)
+        roll = self.rng.random() * total
+        for side, delta, weight in choices:
+            roll -= weight
+            if roll <= 0:
+                break
+        try:
+            if side == "server":
+                self.path.drift_server_side(delta)
+            else:
+                self.path.drift_client_side(delta)
+        except ValueError:
+            return None  # drift would be geometrically impossible; skip
+        return f"{side}{delta:+d}"
+
+    def gfw_detections(self) -> int:
+        return sum(len(device.detections) for device in self.gfw_devices)
+
+    def gfw_resets_received(self) -> int:
+        return len(self.gfw_packets_at_client)
+
+
+def _draw_loss_rate(rng: random.Random, calibration: Calibration) -> float:
+    if rng.random() < calibration.burst_loss_probability:
+        return calibration.burst_loss_rate
+    return calibration.base_loss_rate
+
+
+def _gfw_configs(
+    rng: random.Random, calibration: Calibration, vantage: VantagePoint
+) -> List[GFWConfig]:
+    """Draw the installation composition and shared behaviour quirks."""
+    roll = rng.random()
+    if roll < calibration.old_model_only_fraction:
+        generations = ["old", "old2"]
+    elif roll < calibration.old_model_only_fraction + calibration.both_models_fraction:
+        generations = ["evolved", "old"]
+    else:
+        generations = ["evolved", "evolved2"]
+    # Installation-wide quirk draws (devices at one tap share a version).
+    tcp_ooo = (
+        OverlapPolicy.LAST_WINS
+        if rng.random() < calibration.evolved_tcp_ooo_lastwins_fraction
+        else OverlapPolicy.FIRST_WINS
+    )
+    ignores_noflag = rng.random() < calibration.evolved_ignores_noflag_fraction
+    validates_ack = rng.random() < calibration.evolved_validates_ack_fraction
+    fin_teardown = rng.random() < calibration.evolved_fin_teardown_fraction
+    configs: List[GFWConfig] = []
+    for generation in generations:
+        if generation.startswith("old"):
+            config = old_config(reset_type=1 if generation == "old" else 2)
+        else:
+            config = evolved_config(
+                reset_type=2 if generation == "evolved" else 1
+            )
+            config.tcp_ooo_policy = tcp_ooo
+            config.accepts_no_flag_data = not ignores_noflag
+            config.validates_ack_number = validates_ack
+            config.fin_tears_down = fin_teardown
+            config.resync_on_rst_probability = calibration.resync_on_rst_probability
+            config.resync_on_rst_handshake_probability = (
+                calibration.resync_on_rst_handshake_probability
+            )
+        config.miss_probability = calibration.gfw_miss_probability
+        config.rules.detect_tor = vantage.tor_filtered
+        configs.append(config)
+    # Evolved devices must initialize the cluster's NB3 coin, so order
+    # them first (old devices never consult it).
+    configs.sort(key=lambda cfg: cfg.model != "evolved")
+    return configs
+
+
+def _server_profile(website: Optional[Website]):
+    if website is None:
+        return profile_by_name("linux-4.4")
+    profile = profile_by_name(website.server_profile)
+    if website.server_ooo_lastwins:
+        profile = dataclass_replace(profile, ooo_overlap=OverlapPolicy.LAST_WINS)
+    return profile
+
+
+def _path_geometry(
+    vantage: VantagePoint,
+    rng: random.Random,
+    calibration: Calibration,
+    hop_count: int,
+    gfw_hop: int,
+) -> tuple:
+    """Inside China the geometry comes from the website; outside China
+    the GFW squeezes up against the Chinese server (§7.1)."""
+    if vantage.inside_china:
+        return hop_count, gfw_hop
+    hop_count = hop_count + 6  # transcontinental transit
+    gaps = calibration.outside_gfw_server_gap
+    total = sum(weight for _, weight in gaps)
+    roll = rng.random() * total
+    gap = gaps[-1][0]
+    for candidate_gap, weight in gaps:
+        roll -= weight
+        if roll <= 0:
+            gap = candidate_gap
+            break
+    return hop_count, max(2, hop_count - gap)
+
+
+def build_scenario(
+    vantage: VantagePoint,
+    website: Optional[Website] = None,
+    resolver: Optional[Resolver] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+    workload: str = "http",
+    trace: bool = False,
+    force_firewall: Optional[bool] = None,
+    firewall_teardown_probability: float = 1.0,
+) -> Scenario:
+    """Build one trial topology.
+
+    ``workload`` is one of ``http``, ``dns``, ``tor``, ``vpn``.  The
+    server end is the website (http), the resolver (dns), a Tor bridge,
+    or a VPN server.
+    """
+    rng = random.Random(seed)
+    clock = SimClock()
+    recorder = TraceRecorder(enabled=trace)
+    network = Network(clock=clock, rng=random.Random(rng.randrange(2**31)), trace=recorder)
+
+    if workload == "dns":
+        if resolver is None:
+            raise ValueError("dns workload needs a resolver")
+        server_ip = resolver.ip
+        hop_count, gfw_hop = resolver.hop_count, resolver.gfw_hop
+        server_name = resolver.name
+    else:
+        if website is None:
+            raise ValueError(f"{workload} workload needs a website")
+        server_ip = website.ip
+        hop_count, gfw_hop = website.hop_count, website.gfw_hop
+        server_name = website.name
+    hop_count, gfw_hop = _path_geometry(vantage, rng, calibration, hop_count, gfw_hop)
+
+    client = network.add_host(Host(vantage.ip, vantage.name))
+    server = network.add_host(Host(server_ip, server_name))
+    path = Path(
+        client_ip=vantage.ip,
+        server_ip=server_ip,
+        hop_count=hop_count,
+        base_delay=0.04 if vantage.inside_china else 0.09,
+        loss_rate=_draw_loss_rate(rng, calibration),
+    )
+    network.add_path(path)
+
+    # -- client-side middleboxes (Table 2) --------------------------------
+    for box in vantage.middleboxes.build_boxes(
+        hop=CLIENT_MIDDLEBOX_HOP, rng=random.Random(rng.randrange(2**31))
+    ):
+        path.add_element(box)
+    firewall_present = (
+        force_firewall
+        if force_firewall is not None
+        else rng.random() < calibration.stateful_firewall_fraction
+    )
+    if firewall_present:
+        path.add_element(
+            StatefulFirewallBox(
+                name=f"{vantage.name}-fw",
+                hop=FIREWALL_HOP,
+                teardown_probability=firewall_teardown_probability,
+                check_sequences=(
+                    rng.random() < calibration.firewall_checks_sequences_fraction
+                ),
+                rng=random.Random(rng.randrange(2**31)),
+            )
+        )
+
+    # -- the GFW installation ------------------------------------------------
+    cluster = GFWCluster(
+        rng=random.Random(rng.randrange(2**31)),
+        miss_probability=calibration.gfw_miss_probability,
+    )
+    censored_path = resolver.censored_path if resolver is not None else True
+    devices: List[GFWDevice] = []
+    if censored_path:
+        prober = ActiveProber(clock)
+        poisoner = DNSPoisoner()
+        for index, config in enumerate(_gfw_configs(rng, calibration, vantage)):
+            device = GFWDevice(
+                name=f"gfw-{config.model}-t{config.reset_type}-{index}",
+                hop=gfw_hop,
+                config=config,
+                clock=clock,
+                rng=random.Random(rng.randrange(2**31)),
+                cluster=cluster,
+            )
+            device.dns_poisoner = poisoner
+            device.active_prober = prober
+            path.add_element(device)
+            devices.append(device)
+
+    # -- endpoint stacks ---------------------------------------------------------
+    client_tcp = TCPHost(
+        client, clock, profile=profile_by_name("linux-4.4"),
+        rng=random.Random(rng.randrange(2**31)),
+    )
+    server_tcp = TCPHost(
+        server, clock, profile=_server_profile(website),
+        rng=random.Random(rng.randrange(2**31)),
+    )
+
+    scenario = Scenario(
+        clock=clock,
+        network=network,
+        rng=rng,
+        vantage=vantage,
+        calibration=calibration,
+        path=path,
+        client=client,
+        server=server,
+        client_tcp=client_tcp,
+        server_tcp=server_tcp,
+        gfw_devices=devices,
+        cluster=cluster,
+        website=website,
+        resolver=resolver,
+        trace=recorder,
+    )
+
+    # -- workload --------------------------------------------------------------
+    if workload == "http":
+        scenario.http_server = HTTPServer(server_tcp)
+    elif workload == "dns":
+        zone = _censored_zone()
+        scenario.udp_server = UDPHost(server)
+        DNSUdpResolver(scenario.udp_server, zone)
+        DNSTcpResolver(server_tcp, zone)
+        scenario.udp_client = UDPHost(client)
+    elif workload == "tor":
+        scenario.tor_bridge = TorBridge(server_tcp)
+        for device in devices:
+            if device.active_prober is not None:
+                device.active_prober.bridge_oracle = scenario.tor_bridge.answers_probe
+    elif workload == "vpn":
+        scenario.vpn_server = OpenVPNServer(server_tcp)
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
+
+    # -- measurement sniffer: GFW-forged packets reaching the client ------------
+    def sniff(packet: IPPacket, now: float) -> bool:
+        origin = str(packet.meta.get("origin", ""))
+        if origin.startswith("gfw") and packet.is_tcp and packet.tcp.is_rst:
+            scenario.gfw_packets_at_client.append(packet)
+        return False
+
+    client.register_handler(sniff, prepend=True)
+    return scenario
+
+
+def _censored_zone() -> dict:
+    from repro.gfw.rules import DEFAULT_POISONED_DOMAINS
+
+    return {domain: HONEST_DNS_ANSWER for domain in DEFAULT_POISONED_DOMAINS}

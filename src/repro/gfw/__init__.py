@@ -1,0 +1,50 @@
+"""Executable models of the Great Firewall.
+
+The paper infers two generations of GFW behaviour and this package
+implements both as configuration presets over one device implementation:
+
+- :data:`~repro.gfw.models.OLD_GFW` — the Khattak-era model (§3.2 "prior
+  assumptions"): TCB created only on SYN, torn down by RST/RST-ACK/FIN,
+  out-of-order TCP segments resolved last-wins;
+- :data:`~repro.gfw.models.EVOLVED_GFW` — the model inferred in §4: TCBs
+  also created on SYN/ACK (NB1), a re-synchronization state entered on
+  ambiguous handshakes (NB2), RSTs that sometimes resync instead of
+  tearing down (NB3), and no FIN teardown.
+
+A :class:`~repro.gfw.device.GFWDevice` is an on-path tap (it can observe
+and inject, never drop).  Devices come in the two reset "types" of §2.1:
+type-1 injects a single RST with random TTL/window; type-2 injects three
+RST/ACKs at X, X+1460, X+4380, enforces the 90-second blacklist, and
+forges SYN/ACKs during it.
+"""
+
+from repro.gfw.rules import Detection, RuleSet, DEFAULT_KEYWORDS
+from repro.gfw.dpi import StreamInspector
+from repro.gfw.flow import GFWFlow, GFWFlowState
+from repro.gfw.resets import ResetInjector
+from repro.gfw.blacklist import Blacklist
+from repro.gfw.models import GFWConfig, OLD_GFW, EVOLVED_GFW, evolved_config, old_config
+from repro.gfw.cluster import GFWCluster
+from repro.gfw.device import GFWDevice
+from repro.gfw.dns_poisoner import DNSPoisoner
+from repro.gfw.active_prober import ActiveProber
+
+__all__ = [
+    "Detection",
+    "RuleSet",
+    "DEFAULT_KEYWORDS",
+    "StreamInspector",
+    "GFWFlow",
+    "GFWFlowState",
+    "ResetInjector",
+    "Blacklist",
+    "GFWConfig",
+    "OLD_GFW",
+    "EVOLVED_GFW",
+    "evolved_config",
+    "old_config",
+    "GFWCluster",
+    "GFWDevice",
+    "DNSPoisoner",
+    "ActiveProber",
+]

@@ -1,0 +1,52 @@
+"""Tor active probing (§7.3).
+
+When the GFW's passive fingerprinting flags a flow as a Tor handshake,
+it launches its own probe connection to the suspected bridge; if the
+probe confirms Tor, the paper found (contrary to earlier reports that
+only the Tor port was blocked) that the *entire IP* becomes unreachable
+from China on any port.
+
+In the simulator the probe itself is out-of-band: the scenario builder
+wires :attr:`bridge_oracle`, a callable standing in for the prober's own
+TCP connection to the bridge, with a realistic confirmation delay.
+INTANG defeats this pipeline one step earlier — the fingerprint never
+reaches the DPI engine — so the oracle is never consulted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.netsim.simclock import SimClock
+
+#: Seconds between fingerprint detection and the probe's verdict; real
+#: probes arrive within seconds of the triggering flow.
+PROBE_DELAY = 2.0
+
+
+class ActiveProber:
+    """Schedules probe connections and blocks confirmed bridge IPs."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        bridge_oracle: Optional[Callable[[str, int], bool]] = None,
+        probe_delay: float = PROBE_DELAY,
+    ) -> None:
+        self.clock = clock
+        self.bridge_oracle = bridge_oracle or (lambda ip, port: False)
+        self.probe_delay = probe_delay
+        self.probes: List[Tuple[float, str, int, bool]] = []
+        self.confirmed_blocks: List[str] = []
+
+    def schedule_probe(self, device, ip: str, port: int, now: float) -> None:
+        """Queue a probe of ``ip:port``; on confirmation, block the IP."""
+
+        def run_probe() -> None:
+            confirmed = bool(self.bridge_oracle(ip, port))
+            self.probes.append((self.clock.now, ip, port, confirmed))
+            if confirmed:
+                self.confirmed_blocks.append(ip)
+                device.block_ip(ip)
+
+        self.clock.schedule(self.probe_delay, run_probe)

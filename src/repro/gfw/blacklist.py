@@ -1,0 +1,56 @@
+"""The 90-second host-pair blacklist (§2.1).
+
+After a detection, the GFW "sustains the disruption for a certain period
+(90 seconds as per our measurements)": during that window any SYN between
+the two hosts triggers a forged SYN/ACK with a wrong sequence number
+(type-2 devices only) and any other packet triggers forged resets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+HostPair = Tuple[str, str]
+
+DEFAULT_BLACKLIST_DURATION = 90.0
+
+
+class Blacklist:
+    """Expiring set of (host, host) pairs."""
+
+    def __init__(self, duration: float = DEFAULT_BLACKLIST_DURATION) -> None:
+        self.duration = duration
+        self._expiry: Dict[HostPair, float] = {}
+        self.total_blacklistings = 0
+
+    @staticmethod
+    def _key(host_a: str, host_b: str) -> HostPair:
+        return (host_a, host_b) if host_a <= host_b else (host_b, host_a)
+
+    def add(self, host_a: str, host_b: str, now: float) -> None:
+        self._expiry[self._key(host_a, host_b)] = now + self.duration
+        self.total_blacklistings += 1
+
+    def contains(self, host_a: str, host_b: str, now: float) -> bool:
+        key = self._key(host_a, host_b)
+        expiry = self._expiry.get(key)
+        if expiry is None:
+            return False
+        if now >= expiry:
+            del self._expiry[key]
+            return False
+        return True
+
+    def remaining(self, host_a: str, host_b: str, now: float) -> float:
+        """Seconds of blacklist left for the pair (0 when not listed)."""
+        key = self._key(host_a, host_b)
+        expiry = self._expiry.get(key)
+        if expiry is None:
+            return 0.0
+        return max(0.0, expiry - now)
+
+    def clear(self) -> None:
+        self._expiry.clear()
+
+    def __len__(self) -> int:
+        return len(self._expiry)

@@ -1,0 +1,431 @@
+"""The GFW device: an on-path tap running the inferred state machine.
+
+One :class:`GFWDevice` implements *both* generations of the model — the
+prior-work model and the §4 evolved model — selected by its
+:class:`~repro.gfw.models.GFWConfig`.  The state machine below is a
+direct transcription of the paper's findings:
+
+- TCB creation on SYN (both models) and on SYN/ACK (evolved, NB1), the
+  latter *assuming the SYN/ACK's source is the server* — which is what
+  TCB Reversal (§5.2) exploits;
+- the RESYNC state entered on multiple client-side SYNs, multiple
+  server-side SYN/ACKs, or a SYN/ACK acking an unexpected sequence
+  number (NB2), and left by adopting the sequence number of the next
+  client data packet or server SYN/ACK;
+- RST/RST-ACK teardown that, on evolved devices, sometimes becomes a
+  transition to RESYNC instead (NB3) — markedly more often during the
+  handshake.  The paper observed this behaviour to be *consistent per
+  path per period*, so the coin is flipped once per cluster, not per
+  packet;
+- no validation of checksums, MD5 options, timestamps, or ACK numbers
+  (Table 3's GFW column), making all of §5.3's insertion packets land;
+- first-wins IP-fragment reassembly, configurable TCP out-of-order
+  preference (the generations differ), and first-wins in-order semantics
+  via the shared :class:`~repro.tcp.reassembly.ReceiveBuffer`;
+- type-1/type-2 reset signatures and the 90-second blacklist with forged
+  SYN/ACKs (§2.1);
+- UDP DNS poisoning and Tor active probing as pluggable components.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.netstack.fragment import FragmentReassembler
+from repro.netstack.packet import IPPacket, TCPSegment, seq_add, seq_sub
+from repro.netstack.wire import tcp_checksum_valid, wire_lengths
+from repro.netstack.options import KIND_MD5SIG
+from repro.netsim.path import Direction, Tap
+from repro.netsim.simclock import SimClock
+from repro.gfw.blacklist import Blacklist
+from repro.gfw.cluster import GFWCluster
+from repro.gfw.dpi import StreamInspector
+from repro.gfw.flow import GFWFlow, GFWFlowState, connection_key
+from repro.gfw.models import GFWConfig
+from repro.gfw.resets import ResetInjector
+from repro.gfw.rules import Detection
+
+
+class GFWDevice(Tap):
+    """One censoring middlebox instance at a tap point."""
+
+    def __init__(
+        self,
+        name: str,
+        hop: int,
+        config: GFWConfig,
+        clock: SimClock,
+        rng: Optional[random.Random] = None,
+        cluster: Optional[GFWCluster] = None,
+    ) -> None:
+        super().__init__(name, hop)
+        self.config = config
+        self.clock = clock
+        self.rng = rng or random.Random(hash(name) & 0xFFFFFFFF)
+        self.cluster = cluster or GFWCluster(self.rng, config.miss_probability)
+        self.injector = ResetInjector(config.reset_type, self.rng, name)
+        self.blacklist = Blacklist(config.blacklist_duration)
+        self.flows: Dict[object, GFWFlow] = {}
+        self._fragments = FragmentReassembler(policy=config.ip_frag_policy)
+        #: IPs blocked wholesale after Tor active probing (§7.3).
+        self.blocked_ips: set = set()
+        #: Measurement hooks.
+        self.detections: List[Tuple[float, Detection]] = []
+        self.missed_detections: List[Tuple[float, Detection]] = []
+        self.resets_injected = 0
+        self.forged_synacks_injected = 0
+        #: Optional components, wired by the scenario builder.
+        self.dns_poisoner = None  # type: Optional[object]
+        self.active_prober = None  # type: Optional[object]
+        # NB3 behaviour is consistent per installation per period (§4, §8):
+        # draw once per cluster and share across co-located devices.
+        if not hasattr(self.cluster, "rst_resyncs_established"):
+            self.cluster.rst_resyncs_established = (
+                self.cluster.rng.random() < config.resync_on_rst_probability
+            )
+            self.cluster.rst_resyncs_handshake = (
+                self.cluster.rng.random() < config.resync_on_rst_handshake_probability
+            )
+
+    # ------------------------------------------------------------------
+    # Tap interface
+    # ------------------------------------------------------------------
+    def observe(self, packet: IPPacket, direction: Direction, now: float) -> None:
+        if packet.is_fragment:
+            whole = self._fragments.add(packet)
+            if whole is None:
+                return
+            packet = whole
+        if packet.is_udp:
+            if self.dns_poisoner is not None and self.config.dns_poisoning:
+                self.dns_poisoner.handle(self, packet, direction, now)
+            return
+        if not packet.is_tcp:
+            return
+        if packet.src in self.blocked_ips or packet.dst in self.blocked_ips:
+            self._enforce_ip_block(packet, now)
+            return
+        self._process_tcp(packet, packet.tcp, now)
+
+    def reset_state(self) -> None:
+        """Forget all flows and blacklists (between experiment trials)."""
+        self.flows.clear()
+        self.blacklist.clear()
+        self._fragments = FragmentReassembler(policy=self.config.ip_frag_policy)
+        self.cluster.new_trial()
+
+    # ------------------------------------------------------------------
+    # TCP state machine
+    # ------------------------------------------------------------------
+    def _process_tcp(self, packet: IPPacket, segment: TCPSegment, now: float) -> None:
+        src = (packet.src, segment.src_port)
+        dst = (packet.dst, segment.dst_port)
+        key = connection_key(src, dst)
+
+        if self.blacklist.contains(packet.src, packet.dst, now):
+            self._enforce_blacklist(packet, segment, now)
+            return
+
+        # GFW-side acceptance checks (all off in both real configs —
+        # exactly the discrepancies of Table 3 — but modelled so the
+        # ablation benchmarks can turn them on as countermeasures, §8).
+        if self.config.validates_checksum and not tcp_checksum_valid(
+            segment, packet.src, packet.dst
+        ):
+            return
+        if (
+            self.config.drops_unsolicited_md5
+            and segment.find_option(KIND_MD5SIG) is not None
+        ):
+            return
+        if self.config.validates_tcp_header_length:
+            if segment.data_offset_override is not None and segment.data_offset_override < 5:
+                return
+        if self.config.validates_ip_total_length:
+            emitted, actual = wire_lengths(packet)
+            if emitted > actual:
+                return
+
+        flow = self.flows.get(key)
+        if flow is None:
+            self._maybe_create_flow(key, packet, segment, now)
+            return
+
+        from_client = flow.from_believed_client(src)
+        if segment.is_pure_syn:
+            self._on_syn(flow, key, from_client, segment)
+            return
+        if segment.is_synack:
+            self._on_synack(flow, from_client, segment)
+            return
+        if segment.is_rst:
+            self._on_rst(flow, key, segment)
+            return
+        if segment.is_fin and self.config.fin_tears_down:
+            del self.flows[key]
+            return
+        self._on_data_or_ack(flow, key, from_client, segment, now)
+
+    def _maybe_create_flow(
+        self, key: object, packet: IPPacket, segment: TCPSegment, now: float
+    ) -> None:
+        src = (packet.src, segment.src_port)
+        dst = (packet.dst, segment.dst_port)
+        if segment.is_pure_syn:
+            flow = GFWFlow(
+                believed_client=src,
+                believed_server=dst,
+                state=GFWFlowState.ESTABLISHED,
+                created_at=now,
+                seq_window=self.config.seq_window,
+            )
+            flow.syn_count = 1
+            flow.init_monitoring(
+                seq_add(segment.seq, 1), self.config.rules, self.config.tcp_ooo_policy
+            )
+            self.flows[key] = flow
+            return
+        if segment.is_synack and self.config.creates_tcb_on_synack:
+            # NB1 — and the device assumes the SYN/ACK's *source* is the
+            # server, which is what TCB Reversal turns against it.
+            flow = GFWFlow(
+                believed_client=dst,
+                believed_server=src,
+                state=GFWFlowState.ESTABLISHED,
+                created_at=now,
+                seq_window=self.config.seq_window,
+            )
+            flow.synack_count = 1
+            flow.init_monitoring(
+                segment.ack, self.config.rules, self.config.tcp_ooo_policy
+            )
+            flow.note_server_activity(seq_add(segment.seq, 1))
+            self.flows[key] = flow
+        # Any other packet without a TCB is invisible to the censor —
+        # the reason TCB-teardown evasion works at all.
+
+    def _on_syn(
+        self, flow: GFWFlow, key: object, from_client: bool, segment: TCPSegment
+    ) -> None:
+        if not from_client:
+            # A SYN from the believed-server side (only happens on
+            # reversed flows); observed to be ignored (§5.2).
+            return
+        flow.syn_count += 1
+        if flow.syn_count >= 2 and self.config.supports_resync:
+            # NB2(a): multiple client-side SYNs -> RESYNC.
+            flow.state = GFWFlowState.RESYNC
+        # The old model keeps the TCB of the first SYN and ignores later
+        # ones (prior assumption 2) — nothing else to do.
+
+    def _on_synack(
+        self, flow: GFWFlow, from_client: bool, segment: TCPSegment
+    ) -> None:
+        if from_client:
+            # SYN/ACK arriving from the believed-client side: ignored
+            # (§5.2: the reversal insertion does not trigger RESYNC on
+            # the already-reversed flow).
+            return
+        flow.synack_count += 1
+        flow.note_server_activity(seq_add(segment.seq, 1))
+        if not self.config.supports_resync:
+            return
+        if flow.state is GFWFlowState.RESYNC:
+            # NB2: the next server->client SYN/ACK resynchronizes.
+            flow.resynchronize_to(
+                segment.ack, self.config.rules, self.config.tcp_ooo_policy
+            )
+            return
+        if flow.synack_count >= 2:
+            # NB2(b): multiple SYN/ACKs from the server side.
+            flow.state = GFWFlowState.RESYNC
+        elif segment.ack != flow.client_next_seq:
+            # NB2(c): SYN/ACK acknowledging an unexpected number.
+            flow.state = GFWFlowState.RESYNC
+
+    def _on_rst(self, flow: GFWFlow, key: object, segment: TCPSegment) -> None:
+        if not self.config.supports_resync:
+            del self.flows[key]  # prior assumption 3: RST tears down
+            return
+        resyncs = (
+            self.cluster.rst_resyncs_handshake
+            if not flow.handshake_complete
+            else self.cluster.rst_resyncs_established
+        )
+        if resyncs:
+            flow.state = GFWFlowState.RESYNC  # NB3
+        else:
+            del self.flows[key]
+
+    def _on_data_or_ack(
+        self,
+        flow: GFWFlow,
+        key: object,
+        from_client: bool,
+        segment: TCPSegment,
+        now: float,
+    ) -> None:
+        if not from_client:
+            if segment.payload:
+                flow.note_server_activity(seq_add(segment.seq, len(segment.payload)))
+            return
+        if not segment.payload:
+            # Pure ACKs neither resynchronize (§4) nor get inspected, but
+            # they do tell the device the handshake went through.
+            if flow.synack_count > 0:
+                flow.handshake_complete = True
+            return
+        # -- believed-client data ------------------------------------------
+        if segment.has_no_flags and not self.config.accepts_no_flag_data:
+            return
+        if self.config.requires_ack_flag and not segment.has_ack:
+            return
+        if (
+            self.config.validates_ack_number
+            and segment.has_ack
+            and flow.server_seq_valid
+        ):
+            ack_offset = seq_sub(segment.ack, flow.server_next_seq)
+            if not -flow.seq_window < ack_offset < flow.seq_window:
+                return  # a minority of devices sanity-check ACK numbers
+        if flow.state is GFWFlowState.RESYNC:
+            # NB2: adopt this packet's sequence number.  This is the hook
+            # the desynchronization building block (§5.1) abuses with an
+            # out-of-window junk packet.
+            flow.resynchronize_to(
+                segment.seq, self.config.rules, self.config.tcp_ooo_policy
+            )
+        else:
+            offset = seq_sub(segment.seq, flow.client_next_seq)
+            if not -flow.seq_window < offset < flow.seq_window:
+                return  # out-of-window: the device ignores it
+        flow.handshake_complete = True
+        assert flow.buffer is not None and flow.inspector is not None
+        if self.config.stateless_mode:
+            # §4's eliminated hypothesis (2): match each packet on its
+            # own, no reassembly.  A keyword split across segments is
+            # invisible to this design — which is how the paper proved
+            # the real GFW does not work this way.
+            from repro.gfw.dpi import StreamInspector
+
+            one_shot = StreamInspector(self.config.rules)
+            detection = one_shot.feed(segment.payload)
+            flow.client_next_seq = seq_add(
+                segment.seq, len(segment.payload)
+            )
+        else:
+            delivered = flow.buffer.add(segment.seq, segment.payload)
+            flow.client_next_seq = flow.buffer.rcv_nxt
+            if not delivered:
+                return
+            detection = flow.inspector.feed(delivered)
+        if detection is not None and not flow.punished:
+            flow.punished = True
+            self._on_detection(flow, key, detection, now)
+
+    # ------------------------------------------------------------------
+    # Enforcement
+    # ------------------------------------------------------------------
+    def _on_detection(
+        self, flow: GFWFlow, key: object, detection: Detection, now: float
+    ) -> None:
+        if self.cluster.flow_missed(flow.endpoints_key()):
+            self.missed_detections.append((now, detection))
+            return
+        self.detections.append((now, detection))
+        if detection.kind == "tor" and self.active_prober is not None:
+            self.active_prober.schedule_probe(
+                self, flow.believed_server[0], flow.believed_server[1], now
+            )
+            return
+        self._punish(flow, now)
+        if self.config.reset_type == 2:
+            self.blacklist.add(
+                flow.believed_client[0], flow.believed_server[0], now
+            )
+
+    def _punish(self, flow: GFWFlow, now: float) -> None:
+        """Inject the per-type reset volley toward both endpoints."""
+        toward_client = self.injector.forged_resets(
+            spoof_src=flow.believed_server,
+            toward=flow.believed_client,
+            seq_base=flow.server_next_seq if flow.server_seq_valid else 0,
+            ack_hint=flow.client_next_seq,
+        )
+        toward_server = self.injector.forged_resets(
+            spoof_src=flow.believed_client,
+            toward=flow.believed_server,
+            seq_base=flow.client_next_seq,
+            ack_hint=flow.server_next_seq,
+        )
+        for packet in toward_client + toward_server:
+            self._inject(packet)
+            self.resets_injected += 1
+
+    def _enforce_blacklist(
+        self, packet: IPPacket, segment: TCPSegment, now: float
+    ) -> None:
+        """§2.1: during the 90 s window, SYNs get forged SYN/ACKs (type-2
+        only) and everything else gets reset pairs."""
+        src = (packet.src, segment.src_port)
+        dst = (packet.dst, segment.dst_port)
+        if segment.is_pure_syn and self.config.reset_type == 2:
+            forged = self.injector.forged_synack(
+                spoof_src=dst, toward=src, acked_seq=segment.seq
+            )
+            self._inject(forged)
+            self.forged_synacks_injected += 1
+            return
+        if segment.is_rst:
+            return  # nothing to disrupt
+        seq_base = segment.ack if segment.has_ack else 0
+        for forged in self.injector.forged_resets(
+            spoof_src=dst, toward=src, seq_base=seq_base, ack_hint=segment.end_seq
+        ):
+            self._inject(forged)
+            self.resets_injected += 1
+        for forged in self.injector.forged_resets(
+            spoof_src=src, toward=dst, seq_base=segment.end_seq, ack_hint=seq_base
+        ):
+            self._inject(forged)
+            self.resets_injected += 1
+
+    def _enforce_ip_block(self, packet: IPPacket, now: float) -> None:
+        """Whole-IP blocking after a confirmed Tor probe (§7.3)."""
+        if not packet.is_tcp:
+            return
+        segment = packet.tcp
+        if segment.is_rst:
+            return
+        src = (packet.src, segment.src_port)
+        dst = (packet.dst, segment.dst_port)
+        seq_base = segment.ack if segment.has_ack else 0
+        for forged in self.injector.forged_resets(
+            spoof_src=dst, toward=src, seq_base=seq_base, ack_hint=segment.end_seq
+        ):
+            self._inject(forged)
+            self.resets_injected += 1
+
+    def block_ip(self, ip: str) -> None:
+        self.blocked_ips.add(ip)
+
+    def _inject(self, packet: IPPacket) -> None:
+        """Route a forged packet toward whichever path end owns its dst."""
+        if self.path is None:
+            raise RuntimeError(f"GFW device {self.name} is not attached to a path")
+        if packet.dst == self.path.client_ip:  # type: ignore[attr-defined]
+            self.inject_toward_client(packet)
+        else:
+            self.inject_toward_server(packet)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by tests and the analysis package
+    # ------------------------------------------------------------------
+    def flow_for(
+        self, ip_a: str, port_a: int, ip_b: str, port_b: int
+    ) -> Optional[GFWFlow]:
+        return self.flows.get(connection_key((ip_a, port_a), (ip_b, port_b)))
+
+    def tracked_flow_count(self) -> int:
+        return len(self.flows)

@@ -1,0 +1,119 @@
+"""Per-flow shadow state kept by a GFW device.
+
+A :class:`GFWFlow` is the censor's counterpart of a TCB.  The critical
+design point — and the entire attack surface the paper maps — is that
+this structure is maintained from *passively observed* packets with no
+knowledge of what the endpoints actually accepted.  The evolved model's
+"re-synchronization state" (§4) is the ``RESYNC`` member here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.netstack.fragment import OverlapPolicy
+from repro.netstack.packet import seq_add
+from repro.gfw.dpi import StreamInspector
+from repro.gfw.rules import RuleSet
+from repro.tcp.reassembly import ReceiveBuffer
+
+ConnKey = Tuple[Tuple[str, int], Tuple[str, int]]
+
+
+class GFWFlowState(enum.Enum):
+    """The GFW's per-flow tracking states as inferred by the paper."""
+
+    #: TCB exists; data from the believed client is reassembled and
+    #: inspected against the expected sequence number.
+    ESTABLISHED = "ESTABLISHED"
+    #: NB2: the device saw an ambiguous handshake (multiple SYNs, multiple
+    #: SYN/ACKs, or a SYN/ACK acking an unexpected number) and will adopt
+    #: the sequence number of the *next* client data packet or server
+    #: SYN/ACK it sees.
+    RESYNC = "RESYNC"
+
+
+@dataclass
+class GFWFlow:
+    """The censor's view of one TCP connection."""
+
+    #: Who the device believes initiated the connection.  TCB Reversal
+    #: (§5.2) works precisely because a SYN/ACK-created TCB gets this
+    #: backwards.
+    believed_client: Tuple[str, int]
+    believed_server: Tuple[str, int]
+    state: GFWFlowState
+    #: Next sequence number expected from the believed client.
+    client_next_seq: int = 0
+    #: Latest observed sequence point on the believed server side (the
+    #: "X" used for forged reset sequence numbers, §2.1 footnote 1).
+    server_next_seq: int = 0
+    server_seq_valid: bool = False
+    syn_count: int = 0
+    synack_count: int = 0
+    #: Set when the cluster-level overload draw said this flow escapes
+    #: tracking (the paper's persistent 2.8 % no-strategy success rate).
+    missed: bool = False
+    #: Monitored-direction reassembly and inspection.
+    buffer: Optional[ReceiveBuffer] = None
+    inspector: Optional[StreamInspector] = None
+    created_at: float = 0.0
+    #: Window the device tolerates around ``client_next_seq``.
+    seq_window: int = 65535
+    #: Set once the device has seen evidence the 3-way handshake finished
+    #: (a client pure-ACK after the SYN/ACK, or client data); NB3's
+    #: resync-on-RST probability differs across this boundary (§4).
+    handshake_complete: bool = False
+    #: Latched once this flow has triggered enforcement.
+    punished: bool = False
+
+    def init_monitoring(
+        self,
+        client_next_seq: int,
+        rules: RuleSet,
+        ooo_policy: OverlapPolicy,
+    ) -> None:
+        """(Re)anchor the monitored stream at ``client_next_seq``."""
+        self.client_next_seq = client_next_seq & 0xFFFFFFFF
+        self.buffer = ReceiveBuffer(self.client_next_seq, policy=ooo_policy)
+        if self.inspector is None:
+            self.inspector = StreamInspector(rules)
+
+    def resynchronize_to(
+        self, seq: int, rules: RuleSet, ooo_policy: OverlapPolicy
+    ) -> None:
+        """Adopt a new expected client sequence number (leaving RESYNC).
+
+        The previously reassembled bytes stay with the inspector (the GFW
+        latches detections), but the reassembly anchor moves — packets at
+        the *old* sequence numbers are out-of-window from now on, which is
+        exactly what the desynchronization building block (§5.1) exploits.
+        """
+        self.client_next_seq = seq & 0xFFFFFFFF
+        self.buffer = ReceiveBuffer(self.client_next_seq, policy=ooo_policy)
+        self.state = GFWFlowState.ESTABLISHED
+
+    def note_server_activity(self, seq_end: int) -> None:
+        self.server_next_seq = seq_end & 0xFFFFFFFF
+        self.server_seq_valid = True
+
+    def from_believed_client(self, src: Tuple[str, int]) -> bool:
+        return src == self.believed_client
+
+    def endpoints_key(self) -> ConnKey:
+        ends = sorted([self.believed_client, self.believed_server])
+        return (ends[0], ends[1])
+
+
+def connection_key(src: Tuple[str, int], dst: Tuple[str, int]) -> ConnKey:
+    """Direction-agnostic key used for the device's flow table."""
+    ends = sorted([src, dst])
+    return (ends[0], ends[1])
+
+
+def expected_reset_seqs(flow: GFWFlow) -> Tuple[int, int, int]:
+    """The three type-2 forged-reset sequence numbers (X, X+1460, X+4380)."""
+    x = flow.server_next_seq
+    return (x, seq_add(x, 1460), seq_add(x, 4380))

@@ -1,0 +1,118 @@
+"""Forged reset injection with the two observed signatures (§2.1).
+
+Measured characteristics encoded here:
+
+- **type-1** devices inject a single RST toward each endpoint, with a
+  *random* TTL and window size;
+- **type-2** devices inject three RST/ACKs toward each endpoint with
+  sequence numbers X, X+1460, and X+4380 (X being the current sequence
+  point of the opposite side — future offsets so the forgeries stay ahead
+  of genuine traffic), with *cyclically increasing* TTL and window, and
+  additionally enforce the 90-second blacklist (forged SYN/ACKs for SYNs,
+  reset pairs for anything else).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.netstack.packet import ACK, IPPacket, RST, SYN, TCPSegment, seq_add
+
+
+class ResetInjector:
+    """Builds forged reset/SYN-ACK packets with per-type signatures."""
+
+    def __init__(self, reset_type: int, rng: random.Random, device_name: str) -> None:
+        if reset_type not in (1, 2):
+            raise ValueError("GFW reset type must be 1 or 2")
+        self.reset_type = reset_type
+        self.rng = rng
+        self.device_name = device_name
+        # Cyclic counters for the type-2 signature.
+        self._cyclic_ttl = 64
+        self._cyclic_window = 512
+
+    # -- signature helpers -------------------------------------------------
+    def _next_ttl(self) -> int:
+        if self.reset_type == 1:
+            return self.rng.randint(33, 225)
+        self._cyclic_ttl += 1
+        if self._cyclic_ttl > 128:
+            self._cyclic_ttl = 64
+        return self._cyclic_ttl
+
+    def _next_window(self) -> int:
+        if self.reset_type == 1:
+            return self.rng.randint(1, 65535)
+        self._cyclic_window += 79
+        if self._cyclic_window > 65000:
+            self._cyclic_window = 512
+        return self._cyclic_window
+
+    # -- packet builders -----------------------------------------------------
+    def forged_resets(
+        self,
+        spoof_src: Tuple[str, int],
+        toward: Tuple[str, int],
+        seq_base: int,
+        ack_hint: int = 0,
+    ) -> List[IPPacket]:
+        """Resets spoofed as ``spoof_src``, aimed at ``toward``.
+
+        Type-1 emits one plain RST at ``seq_base``; type-2 emits three
+        RST/ACKs at ``seq_base`` + {0, 1460, 4380} (§2.1 footnote: future
+        sequence numbers offset the risk of falling behind real traffic).
+        """
+        packets: List[IPPacket] = []
+        if self.reset_type == 1:
+            offsets = (0,)
+            flags = RST
+        else:
+            offsets = (0, 1460, 4380)
+            flags = RST | ACK
+        for offset in offsets:
+            segment = TCPSegment(
+                src_port=spoof_src[1],
+                dst_port=toward[1],
+                seq=seq_add(seq_base, offset),
+                ack=ack_hint if flags & ACK else 0,
+                flags=flags,
+                window=self._next_window(),
+            )
+            packet = IPPacket(
+                src=spoof_src[0],
+                dst=toward[0],
+                payload=segment,
+                ttl=self._next_ttl(),
+            )
+            packet.meta["origin"] = f"gfw-type{self.reset_type}"
+            packet.meta["forged"] = "reset"
+            packets.append(packet)
+        return packets
+
+    def forged_synack(
+        self,
+        spoof_src: Tuple[str, int],
+        toward: Tuple[str, int],
+        acked_seq: int,
+    ) -> IPPacket:
+        """The wrong-sequence SYN/ACK sent for SYNs during a blacklist.
+
+        Only type-2 devices do this (§2.1).  The sequence number is drawn
+        at random so the client's handshake cannot complete correctly.
+        """
+        segment = TCPSegment(
+            src_port=spoof_src[1],
+            dst_port=toward[1],
+            seq=self.rng.randrange(0, 2**32),
+            ack=seq_add(acked_seq, 1),
+            flags=SYN | ACK,
+            window=self._next_window(),
+        )
+        packet = IPPacket(
+            src=spoof_src[0], dst=toward[0], payload=segment, ttl=self._next_ttl()
+        )
+        packet.meta["origin"] = f"gfw-type{self.reset_type}"
+        packet.meta["forged"] = "synack"
+        return packet

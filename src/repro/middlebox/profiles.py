@@ -1,0 +1,117 @@
+"""Provider middlebox profiles — a direct transcription of Table 2.
+
+| Packet type        | Aliyun (6/11) | QCloud (3/11) | Unicom SJZ | Unicom TJ |
+|--------------------|---------------|---------------|------------|-----------|
+| IP fragments       | Discarded     | Reassembled   | Reassembled| Reassembled |
+| Wrong TCP checksum | Pass          | Pass          | Pass       | Dropped   |
+| No TCP flag        | Pass          | Pass          | Pass       | Dropped   |
+| RST packets        | Pass          | Sometimes     | Pass       | Pass      |
+| FIN packets        | Sometimes     | Pass          | Dropped    | Dropped   |
+
+"Sometimes dropped" is modelled as a 0.5 per-packet probability; every
+other cell is deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.middlebox.boxes import (
+    FieldSanitizerBox,
+    FragmentHandlingBox,
+    FragmentMode,
+)
+from repro.netstack.fragment import OverlapPolicy
+from repro.netsim.path import InlineBox
+
+#: Probability used for Table 2's "Sometimes dropped" cells.
+SOMETIMES = 0.5
+
+
+@dataclass(frozen=True)
+class MiddleboxProfile:
+    """A provider's observable client-side middlebox behaviour."""
+
+    name: str
+    fragment_mode: FragmentMode = FragmentMode.PASS
+    drop_bad_checksum: float = 0.0
+    drop_no_flag: float = 0.0
+    drop_fin: float = 0.0
+    drop_rst: float = 0.0
+
+    def build_boxes(
+        self, hop: int, rng: Optional[random.Random] = None
+    ) -> List[InlineBox]:
+        """Instantiate this profile as path elements at ``hop``."""
+        boxes: List[InlineBox] = []
+        if self.fragment_mode is not FragmentMode.PASS:
+            # Reassembling boxes keep the *latest* data on overlaps, which
+            # restores the real request and re-exposes it to the GFW —
+            # §3.4: "these packets were deterministically captured".
+            boxes.append(
+                FragmentHandlingBox(
+                    name=f"{self.name}-frag",
+                    hop=hop,
+                    mode=self.fragment_mode,
+                    reassembly_policy=OverlapPolicy.LAST_WINS,
+                )
+            )
+        if any(
+            (self.drop_bad_checksum, self.drop_no_flag, self.drop_fin, self.drop_rst)
+        ):
+            boxes.append(
+                FieldSanitizerBox(
+                    name=f"{self.name}-sanitizer",
+                    hop=hop,
+                    drop_bad_checksum=self.drop_bad_checksum,
+                    drop_no_flag=self.drop_no_flag,
+                    drop_fin=self.drop_fin,
+                    drop_rst=self.drop_rst,
+                    rng=rng,
+                )
+            )
+        return boxes
+
+
+PROFILE_ALIYUN = MiddleboxProfile(
+    name="aliyun",
+    fragment_mode=FragmentMode.DISCARD,
+    drop_fin=SOMETIMES,
+)
+
+PROFILE_QCLOUD = MiddleboxProfile(
+    name="qcloud",
+    fragment_mode=FragmentMode.REASSEMBLE,
+    drop_rst=SOMETIMES,
+)
+
+PROFILE_UNICOM_SJZ = MiddleboxProfile(
+    name="unicom-sjz",
+    fragment_mode=FragmentMode.REASSEMBLE,
+    drop_fin=1.0,
+)
+
+PROFILE_UNICOM_TJ = MiddleboxProfile(
+    name="unicom-tj",
+    fragment_mode=FragmentMode.REASSEMBLE,
+    drop_bad_checksum=1.0,
+    drop_no_flag=1.0,
+    drop_fin=1.0,
+)
+
+#: A path with no interfering client-side middleboxes (used for the
+#: outside-China vantage points and for controlled experiments).
+PROFILE_TRANSPARENT = MiddleboxProfile(name="transparent")
+
+PROVIDER_PROFILES = {
+    profile.name: profile
+    for profile in (
+        PROFILE_ALIYUN,
+        PROFILE_QCLOUD,
+        PROFILE_UNICOM_SJZ,
+        PROFILE_UNICOM_TJ,
+        PROFILE_TRANSPARENT,
+    )
+}

@@ -1,0 +1,39 @@
+"""Discrete-event network simulator.
+
+The simulator reproduces the paper's threat model (Fig. 1): a client and a
+server joined by a multi-hop path, with *in-path* middleboxes that may
+drop or rewrite packets and *on-path* taps (the GFW) that see copies of
+packets and may inject — but never discard — traffic.
+
+Key physical effects modelled, because the evasion strategies depend on
+them:
+
+- per-hop TTL decrement (low-TTL insertion packets die between the GFW's
+  hop and the server's);
+- per-path packet loss at a specific hop (an insertion packet lost before
+  the GFW voids the strategy);
+- route drift between trials (the measured hop count used to compute
+  insertion TTLs goes stale);
+- propagation delay, so handshakes and injected resets race realistically.
+"""
+
+from repro.netsim.simclock import SimClock
+from repro.netsim.path import Direction, InlineBox, PathElement, Tap, Verdict
+from repro.netsim.network import Network, Path
+from repro.netsim.node import Endpoint, Host
+from repro.netsim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "SimClock",
+    "Direction",
+    "InlineBox",
+    "PathElement",
+    "Tap",
+    "Verdict",
+    "Network",
+    "Path",
+    "Endpoint",
+    "Host",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,398 @@
+"""The network: paths, hop-by-hop traversal, loss, delay, and injection.
+
+A :class:`Path` joins exactly two endpoints ("client" and "server" ends,
+matching the paper's threat model) and carries an ordered set of
+:class:`~repro.netsim.path.PathElement` objects at integer hop positions.
+Packet traversal is event-driven: each element processes the packet at
+the sim time it would physically arrive there, so a GFW reset injected at
+hop 8 genuinely races the original packet to the server at hop 14.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.netstack.packet import IPPacket
+from repro.netsim.node import Endpoint
+from repro.netsim.path import (
+    Direction,
+    InlineBox,
+    PathElement,
+    ProcessResult,
+    Tap,
+    Verdict,
+)
+from repro.netsim.simclock import SimClock
+from repro.netsim.trace import TraceRecorder
+
+
+class Path:
+    """A bidirectional multi-hop path between a client and a server.
+
+    ``hop_count`` is the number of routers between the endpoints; elements
+    sit at hops ``1 .. hop_count - 1``.  ``base_delay`` is the one-way
+    propagation delay, divided evenly across hops.  ``loss_rate`` is the
+    probability that a traversal loses the packet at a uniformly chosen
+    hop — losing an insertion packet *before* the GFW hop is one of the
+    paper's "Failure 2" causes (§3.4), and the hop-position draw models
+    exactly that.
+    """
+
+    def __init__(
+        self,
+        client_ip: str,
+        server_ip: str,
+        hop_count: int = 14,
+        base_delay: float = 0.04,
+        loss_rate: float = 0.0,
+        jitter: float = 0.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if hop_count < 2:
+            raise ValueError("a path needs at least two hops")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1)")
+        self.client_ip = client_ip
+        self.server_ip = server_ip
+        self.hop_count = hop_count
+        self.base_delay = base_delay
+        self.loss_rate = loss_rate
+        #: Per-segment delay jitter as a fraction of the nominal delay.
+        #: Nonzero jitter lets closely spaced packets *reorder* in
+        #: flight — endpoint reassembly must cope (and does).
+        self.jitter = jitter
+        self.name = name or f"{client_ip}<->{server_ip}"
+        self.elements: List[PathElement] = []
+        self.network: Optional["Network"] = None
+
+    # -- construction -------------------------------------------------------
+    def add_element(self, element: PathElement) -> PathElement:
+        """Attach an in-path box or on-path tap at its ``hop`` position."""
+        if not 0 < element.hop < self.hop_count:
+            raise ValueError(
+                f"element hop {element.hop} outside path (1..{self.hop_count - 1})"
+            )
+        element.path = self
+        self.elements.append(element)
+        self.elements.sort(key=lambda item: item.hop)
+        return element
+
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.client_ip, self.server_ip)
+
+    def direction_from(self, sender_ip: str) -> Direction:
+        if sender_ip == self.client_ip:
+            return Direction.CLIENT_TO_SERVER
+        if sender_ip == self.server_ip:
+            return Direction.SERVER_TO_CLIENT
+        raise ValueError(f"{sender_ip} is not an endpoint of {self.name}")
+
+    def reset_elements(self) -> None:
+        """Clear per-connection state on every element (between trials)."""
+        for element in self.elements:
+            element.reset_state()
+
+    # -- route dynamics -------------------------------------------------------
+    def drift_server_side(self, delta: int) -> None:
+        """Lengthen (or shorten) the path beyond the last element.
+
+        Models route changes between the GFW and the server: the client's
+        previously measured hop count goes stale, so TTL-limited insertion
+        packets may now reach the server (Failure 1) or, with negative
+        drift, fall short of the GFW (Failure 2).
+        """
+        new_count = self.hop_count + delta
+        last_element_hop = max((element.hop for element in self.elements), default=0)
+        if new_count <= last_element_hop + 0:
+            raise ValueError("drift would place the server before an element")
+        self.hop_count = new_count
+
+    def drift_client_side(self, delta: int) -> None:
+        """Lengthen (or shorten) the path before the first element.
+
+        All element hop positions shift by ``delta``; models route changes
+        between the client and the GFW.
+        """
+        first_element_hop = min(
+            (element.hop for element in self.elements), default=self.hop_count
+        )
+        if first_element_hop + delta < 1:
+            raise ValueError("drift would place an element before the client")
+        for element in self.elements:
+            element.hop += delta
+        self.hop_count += delta
+
+    # -- traversal --------------------------------------------------------------
+    def per_hop_delay(self) -> float:
+        return self.base_delay / self.hop_count
+
+    def sender_hop(self, direction: Direction) -> int:
+        """Hop coordinate (client-based) of the sender for ``direction``."""
+        return 0 if direction is Direction.CLIENT_TO_SERVER else self.hop_count
+
+    def destination_hop(self, direction: Direction) -> int:
+        return self.hop_count if direction is Direction.CLIENT_TO_SERVER else 0
+
+    def elements_ahead(self, origin_hop: int, direction: Direction) -> List[PathElement]:
+        """Elements the packet will meet, in travel order."""
+        if direction is Direction.CLIENT_TO_SERVER:
+            ahead = [e for e in self.elements if e.hop > origin_hop]
+            ahead.sort(key=lambda item: item.hop)
+        else:
+            ahead = [e for e in self.elements if e.hop < origin_hop]
+            ahead.sort(key=lambda item: item.hop, reverse=True)
+        return ahead
+
+    def hop_distance(self, origin_hop: int, target_hop: int) -> int:
+        return abs(target_hop - origin_hop)
+
+    def inject(self, tap: Tap, packet: IPPacket, direction: Direction) -> None:
+        """Entry point for on-path taps injecting forged packets."""
+        if self.network is None:
+            raise RuntimeError(f"path {self.name} is not attached to a network")
+        packet.meta.setdefault("injected_by", tap.name)
+        self.network.launch(self, packet, direction, origin_hop=tap.hop, origin=tap.name)
+
+
+class Network:
+    """Holds hosts and paths and runs packet traversal on the event clock."""
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        rng: Optional[random.Random] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.rng = rng if rng is not None else random.Random(0)
+        # Note: "trace or default" would be wrong — an empty recorder is
+        # falsy through its __len__.
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.hosts: Dict[str, Endpoint] = {}
+        self._paths: Dict[frozenset, Path] = {}
+        #: Packets that arrived for an IP with no registered host.
+        self.undeliverable = 0
+
+    # -- topology -----------------------------------------------------------
+    def add_host(self, host: Endpoint) -> Endpoint:
+        if host.ip in self.hosts:
+            raise ValueError(f"duplicate host IP {host.ip}")
+        self.hosts[host.ip] = host
+        host.network = self
+        return host
+
+    def add_path(self, path: Path) -> Path:
+        key = frozenset(path.endpoints())
+        if key in self._paths:
+            raise ValueError(f"duplicate path between {path.endpoints()}")
+        self._paths[key] = path
+        path.network = self
+        return path
+
+    def path_between(self, ip_a: str, ip_b: str) -> Path:
+        try:
+            return self._paths[frozenset((ip_a, ip_b))]
+        except KeyError:
+            raise KeyError(f"no path between {ip_a} and {ip_b}") from None
+
+    def paths(self) -> List[Path]:
+        return list(self._paths.values())
+
+    # -- sending ------------------------------------------------------------
+    def send(self, sender: Endpoint, packet: IPPacket) -> None:
+        """Called by an endpoint to transmit toward ``packet.dst``."""
+        try:
+            path = self.path_between(sender.ip, packet.dst)
+        except KeyError:
+            self.trace.record(
+                self.clock.now, sender.name, "drop", packet, note="no route"
+            )
+            self.undeliverable += 1
+            return
+        direction = path.direction_from(sender.ip)
+        self.trace.record(
+            self.clock.now, sender.name, "send", packet, direction.value
+        )
+        self.launch(
+            path, packet, direction, origin_hop=path.sender_hop(direction),
+            origin=sender.name,
+        )
+
+    def launch(
+        self,
+        path: Path,
+        packet: IPPacket,
+        direction: Direction,
+        origin_hop: int,
+        origin: str,
+    ) -> None:
+        """Start event-driven traversal of ``packet`` along ``path``.
+
+        Loss is decided up front by drawing a drop hop; elements before the
+        drop hop still see the packet (so the GFW may act on a packet the
+        server never receives — a real and exploited asymmetry).
+        """
+        drop_hop: Optional[int] = None
+        if path.loss_rate > 0 and self.rng.random() < path.loss_rate:
+            destination_hop = path.destination_hop(direction)
+            low, high = sorted((origin_hop, destination_hop))
+            drop_hop = self.rng.randint(low + 1, high)
+            if direction is Direction.SERVER_TO_CLIENT:
+                # express as the hop (client coordinate) where it dies
+                drop_hop = self.rng.randint(low, high - 1)
+        plan = path.elements_ahead(origin_hop, direction)
+        self._advance(path, packet, direction, origin_hop, plan, 0, drop_hop, origin)
+
+    # -- traversal engine -----------------------------------------------------
+    def _advance(
+        self,
+        path: Path,
+        packet: IPPacket,
+        direction: Direction,
+        current_hop: int,
+        plan: List[PathElement],
+        plan_index: int,
+        drop_hop: Optional[int],
+        origin: str,
+    ) -> None:
+        """Schedule the next step (element visit or final delivery)."""
+        if plan_index < len(plan):
+            element = plan[plan_index]
+            target_hop = element.hop
+        else:
+            element = None
+            target_hop = path.destination_hop(direction)
+        distance = path.hop_distance(current_hop, target_hop)
+        delay = path.per_hop_delay() * max(distance, 0)
+        if path.jitter > 0.0 and delay > 0.0:
+            delay *= 1.0 + self.rng.uniform(-path.jitter, path.jitter)
+
+        def arrive() -> None:
+            # TTL accounting: packet.ttl was the value at current_hop.
+            remaining_ttl = packet.ttl - distance
+            died_of_ttl = remaining_ttl <= 0
+            if died_of_ttl:
+                expiry_hop = (
+                    current_hop + packet.ttl
+                    if direction is Direction.CLIENT_TO_SERVER
+                    else current_hop - packet.ttl
+                )
+            else:
+                expiry_hop = None
+            if drop_hop is not None and self._hop_reached(
+                current_hop, target_hop, drop_hop, direction
+            ):
+                if not died_of_ttl or self._loss_before_ttl(
+                    current_hop, drop_hop, expiry_hop, direction
+                ):
+                    self.trace.record(
+                        self.clock.now, f"hop{drop_hop}", "drop", packet,
+                        direction.value, note="loss",
+                    )
+                    return
+            if died_of_ttl:
+                self.trace.record(
+                    self.clock.now, f"hop{expiry_hop}", "drop", packet,
+                    direction.value, note="ttl-expired",
+                )
+                return
+            packet.ttl = remaining_ttl
+            if element is None:
+                self._deliver(path, packet, direction, origin)
+                return
+            self._visit_element(
+                path, packet, direction, element, plan, plan_index, drop_hop, origin
+            )
+
+        self.clock.schedule(delay, arrive)
+
+    def _hop_reached(
+        self, current_hop: int, target_hop: int, probe_hop: int, direction: Direction
+    ) -> bool:
+        """Was ``probe_hop`` strictly between current and target (inclusive)?"""
+        low, high = sorted((current_hop, target_hop))
+        return low < probe_hop <= high if direction is Direction.CLIENT_TO_SERVER else low <= probe_hop < high
+
+    def _loss_before_ttl(
+        self,
+        current_hop: int,
+        drop_hop: int,
+        expiry_hop: Optional[int],
+        direction: Direction,
+    ) -> bool:
+        if expiry_hop is None:
+            return True
+        if direction is Direction.CLIENT_TO_SERVER:
+            return drop_hop <= expiry_hop
+        return drop_hop >= expiry_hop
+
+    def _visit_element(
+        self,
+        path: Path,
+        packet: IPPacket,
+        direction: Direction,
+        element: PathElement,
+        plan: List[PathElement],
+        plan_index: int,
+        drop_hop: Optional[int],
+        origin: str,
+    ) -> None:
+        now = self.clock.now
+        if isinstance(element, Tap):
+            element.observe(packet.copy(), direction, now)
+            self.trace.record(now, element.name, "observe", packet, direction.value)
+            self._advance(
+                path, packet, direction, element.hop, plan, plan_index + 1,
+                drop_hop, origin,
+            )
+            return
+        assert isinstance(element, InlineBox)
+        result: ProcessResult = element.process(packet, direction, now)
+        if result.verdict is Verdict.DROP:
+            self.trace.record(
+                now, element.name, "drop", packet, direction.value, note="middlebox"
+            )
+            return
+        if result.verdict is Verdict.REPLACE:
+            self.trace.record(
+                now, element.name, "replace", packet, direction.value,
+                note=f"{len(result.packets)} packet(s)",
+            )
+            for replacement in result.packets:
+                self._advance(
+                    path, replacement, direction, element.hop, plan,
+                    plan_index + 1, drop_hop, origin,
+                )
+            return
+        self.trace.record(now, element.name, "forward", packet, direction.value)
+        self._advance(
+            path, packet, direction, element.hop, plan, plan_index + 1,
+            drop_hop, origin,
+        )
+
+    def _deliver(
+        self, path: Path, packet: IPPacket, direction: Direction, origin: str
+    ) -> None:
+        destination_ip = (
+            path.server_ip
+            if direction is Direction.CLIENT_TO_SERVER
+            else path.client_ip
+        )
+        host = self.hosts.get(destination_ip)
+        if host is None:
+            self.undeliverable += 1
+            self.trace.record(
+                self.clock.now, destination_ip, "drop", packet, direction.value,
+                note="no such host",
+            )
+            return
+        self.trace.record(
+            self.clock.now, host.name, "deliver", packet, direction.value
+        )
+        host.handle_packet(packet, self.clock.now)
+
+    # -- convenience ----------------------------------------------------------
+    def run(self, duration: float = 10.0) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.clock.run_for(duration)

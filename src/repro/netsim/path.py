@@ -1,0 +1,147 @@
+"""Path elements: in-path middleboxes and on-path taps.
+
+The paper's threat model distinguishes two capabilities (§2.1):
+
+- an **in-path** device ("middlebox") forwards traffic and may therefore
+  *drop or modify* packets;
+- an **on-path** device (the GFW) sees *copies* of packets and may
+  *inject* new ones, but can never remove a packet from the wire.
+
+Both kinds sit at a hop index along a :class:`~repro.netsim.network.Path`;
+TTL-expiry is evaluated against that index, which is what makes low-TTL
+insertion packets work (they reach the GFW's hop but die before the
+server's).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Union
+
+from repro.netstack.packet import IPPacket
+
+
+class Direction(enum.Enum):
+    """Direction of travel along a path."""
+
+    CLIENT_TO_SERVER = "c2s"
+    SERVER_TO_CLIENT = "s2c"
+
+    @property
+    def reverse(self) -> "Direction":
+        if self is Direction.CLIENT_TO_SERVER:
+            return Direction.SERVER_TO_CLIENT
+        return Direction.CLIENT_TO_SERVER
+
+
+class Verdict(enum.Enum):
+    """What an in-path element decided to do with a packet."""
+
+    FORWARD = "forward"
+    DROP = "drop"
+    REPLACE = "replace"
+
+
+class ProcessResult:
+    """Outcome of :meth:`InlineBox.process`.
+
+    ``REPLACE`` carries one or more packets that continue along the path
+    in place of the original (e.g. a middlebox reassembling IP fragments
+    into a single full packet, Table 2 row 1).
+    """
+
+    __slots__ = ("verdict", "packets")
+
+    def __init__(
+        self, verdict: Verdict, packets: Optional[Sequence[IPPacket]] = None
+    ) -> None:
+        self.verdict = verdict
+        self.packets = list(packets) if packets else []
+
+    @classmethod
+    def forward(cls) -> "ProcessResult":
+        return cls(Verdict.FORWARD)
+
+    @classmethod
+    def drop(cls) -> "ProcessResult":
+        return cls(Verdict.DROP)
+
+    @classmethod
+    def replace(cls, packets: Sequence[IPPacket]) -> "ProcessResult":
+        return cls(Verdict.REPLACE, packets)
+
+
+class PathElement:
+    """Base class for anything positioned along a path.
+
+    ``hop`` is the number of routers between the *client* endpoint and
+    this element; a packet arrives here with ``ttl_initial - hop``
+    remaining (and never arrives if that is <= 0).
+    """
+
+    def __init__(self, name: str, hop: int) -> None:
+        self.name = name
+        self.hop = hop
+        self.path: Optional[object] = None  # backref set by Path.attach
+
+    def hop_from(self, direction: Direction, total_hops: int) -> int:
+        """Hop index measured from the sender for ``direction``."""
+        if direction is Direction.CLIENT_TO_SERVER:
+            return self.hop
+        return total_hops - self.hop
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} hop={self.hop}>"
+
+
+class InlineBox(PathElement):
+    """An in-path middlebox: may forward, drop, or rewrite packets."""
+
+    def process(
+        self, packet: IPPacket, direction: Direction, now: float
+    ) -> ProcessResult:
+        """Decide the fate of ``packet``; default is to forward."""
+        return ProcessResult.forward()
+
+    def reset_state(self) -> None:
+        """Clear per-connection state between experiment trials."""
+
+
+class Tap(PathElement):
+    """An on-path monitor: sees copies, can inject, can never drop.
+
+    Subclasses (the GFW device) implement :meth:`observe` and use
+    :meth:`inject_toward_client` / :meth:`inject_toward_server` to put
+    forged packets on the wire from their own hop position.
+    """
+
+    def observe(self, packet: IPPacket, direction: Direction, now: float) -> None:
+        """Called with a copy of every packet that survives to this hop."""
+
+    def reset_state(self) -> None:
+        """Clear per-connection state between experiment trials."""
+
+    # The two injection helpers delegate to the owning Path, which is set
+    # when the tap is attached.  They exist so GFW code reads naturally.
+    def inject_toward_client(self, packet: IPPacket) -> None:
+        if self.path is None:
+            raise RuntimeError(f"tap {self.name} is not attached to a path")
+        self.path.inject(self, packet, Direction.SERVER_TO_CLIENT)  # type: ignore[attr-defined]
+
+    def inject_toward_server(self, packet: IPPacket) -> None:
+        if self.path is None:
+            raise RuntimeError(f"tap {self.name} is not attached to a path")
+        self.path.inject(self, packet, Direction.CLIENT_TO_SERVER)  # type: ignore[attr-defined]
+
+
+def elements_in_direction(
+    elements: List[PathElement], direction: Direction
+) -> List[PathElement]:
+    """Order path elements as encountered when travelling ``direction``."""
+    ordered = sorted(elements, key=lambda element: element.hop)
+    if direction is Direction.SERVER_TO_CLIENT:
+        ordered.reverse()
+    return ordered
+
+
+PathElementLike = Union[InlineBox, Tap]

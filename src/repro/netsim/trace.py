@@ -1,0 +1,86 @@
+"""Packet trace recording (a pcap-substitute for the simulator).
+
+Traces serve two purposes in this reproduction:
+
+1. debugging and tests — assertions about who saw which packet when;
+2. regenerating the paper's sequence diagrams (Fig. 3 and Fig. 4) as
+   textual packet ladders via :func:`format_ladder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.netstack.packet import IPPacket
+
+
+@dataclass
+class TraceEvent:
+    """One observation of a packet at a point in the network."""
+
+    time: float
+    location: str
+    action: str  # "send", "deliver", "observe", "drop", "inject", ...
+    summary: str
+    direction: Optional[str] = None
+    note: str = ""
+
+    def format(self) -> str:
+        head = f"{self.time * 1000.0:9.3f}ms  {self.location:<18} {self.action:<8}"
+        tail = f"  ({self.note})" if self.note else ""
+        return f"{head} {self.summary}{tail}"
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` objects from the network."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+    #: Optional filter; return False to skip recording an event.
+    predicate: Optional[Callable[[TraceEvent], bool]] = None
+
+    def record(
+        self,
+        time: float,
+        location: str,
+        action: str,
+        packet: Optional[IPPacket] = None,
+        direction: Optional[str] = None,
+        note: str = "",
+    ) -> None:
+        if not self.enabled:
+            return
+        summary = packet.summary() if packet is not None else ""
+        event = TraceEvent(
+            time=time,
+            location=location,
+            action=action,
+            summary=summary,
+            direction=direction,
+            note=note,
+        )
+        if self.predicate is not None and not self.predicate(event):
+            return
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def filter(self, action: Optional[str] = None, location: Optional[str] = None) -> List[TraceEvent]:
+        """Return events matching the given action and/or location."""
+        selected = self.events
+        if action is not None:
+            selected = [event for event in selected if event.action == action]
+        if location is not None:
+            selected = [event for event in selected if event.location == location]
+        return list(selected)
+
+    def format_ladder(self) -> str:
+        """Render the trace as a time-ordered packet ladder."""
+        lines = [event.format() for event in sorted(self.events, key=lambda e: e.time)]
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

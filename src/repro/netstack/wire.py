@@ -1,0 +1,265 @@
+"""Byte-level serialization and parsing for IPv4, TCP, and UDP.
+
+The simulator mostly moves packet *objects*, but wire images matter in
+three places, all of which the paper exploits:
+
+1. Checksums — an insertion packet's "bad checksum" must be a real wrong
+   16-bit value so that endpoint validation (and the GFW's lack of it) are
+   exercised for real;
+2. IP fragmentation — fragments split the serialized transport segment at
+   arbitrary 8-byte boundaries, so the bytes must exist;
+3. Header-length corruption — a TCP data offset below 5 words must survive
+   a serialize/parse round trip as an observable anomaly.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple, Union
+
+from repro.netstack.checksum import (
+    internet_checksum,
+    pseudo_header,
+)
+from repro.netstack.options import parse_options, serialize_options
+from repro.netstack.packet import (
+    IPPacket,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCPSegment,
+    UDPDatagram,
+    ip_to_int,
+    int_to_ip,
+)
+
+IP_HEADER_LEN = 20
+TCP_MIN_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+
+
+def serialize_tcp(segment: TCPSegment, src: str, dst: str) -> bytes:
+    """Serialize a TCP segment, computing (or overriding) its checksum.
+
+    ``src``/``dst`` are needed for the pseudo header.  When
+    ``checksum_override`` is set, that value is emitted verbatim — this is
+    how "bad checksum" insertion packets are made.
+    """
+    options_blob = serialize_options(segment.options)
+    data_offset_words = (TCP_MIN_HEADER_LEN + len(options_blob)) // 4
+    emitted_offset = (
+        segment.data_offset_override
+        if segment.data_offset_override is not None
+        else data_offset_words
+    )
+    header = struct.pack(
+        "!HHIIBBHHH",
+        segment.src_port,
+        segment.dst_port,
+        segment.seq & 0xFFFFFFFF,
+        segment.ack & 0xFFFFFFFF,
+        (emitted_offset & 0xF) << 4,
+        segment.flags & 0x3F,
+        segment.window & 0xFFFF,
+        0,  # checksum placeholder
+        segment.urgent & 0xFFFF,
+    )
+    blob = header + options_blob + segment.payload
+    if segment.checksum_override is not None:
+        checksum = segment.checksum_override & 0xFFFF
+    else:
+        pseudo = pseudo_header(ip_to_int(src), ip_to_int(dst), PROTO_TCP, len(blob))
+        checksum = internet_checksum(pseudo + blob)
+    return blob[:16] + struct.pack("!H", checksum) + blob[18:]
+
+
+def parse_tcp(blob: bytes) -> TCPSegment:
+    """Parse wire bytes back into a :class:`TCPSegment`.
+
+    The parsed segment keeps the on-wire checksum in ``checksum_override``;
+    callers compare against a recomputation to validate.  A data offset
+    below 5 words is preserved in ``data_offset_override``.
+    """
+    if len(blob) < TCP_MIN_HEADER_LEN:
+        raise ValueError("truncated TCP header")
+    (
+        src_port,
+        dst_port,
+        seq,
+        ack,
+        offset_byte,
+        flags,
+        window,
+        checksum,
+        urgent,
+    ) = struct.unpack("!HHIIBBHHH", blob[:TCP_MIN_HEADER_LEN])
+    data_offset = (offset_byte >> 4) & 0xF
+    header_len = data_offset * 4
+    anomalous_offset: Optional[int] = None
+    if header_len < TCP_MIN_HEADER_LEN or header_len > len(blob):
+        # Illegal header length: keep the raw value, treat all bytes past
+        # the fixed header as payload (what a naive DPI engine would do).
+        anomalous_offset = data_offset
+        options = []
+        payload = blob[TCP_MIN_HEADER_LEN:]
+    else:
+        options = parse_options(blob[TCP_MIN_HEADER_LEN:header_len])
+        payload = blob[header_len:]
+    return TCPSegment(
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq,
+        ack=ack,
+        flags=flags,
+        window=window,
+        payload=payload,
+        options=options,
+        urgent=urgent,
+        checksum_override=checksum,
+        data_offset_override=anomalous_offset,
+    )
+
+
+def tcp_checksum_valid(segment: TCPSegment, src: str, dst: str) -> bool:
+    """True when the segment would carry a correct checksum on the wire."""
+    if segment.checksum_override is None:
+        return True
+    correct = segment.copy(checksum_override=None)
+    wire = serialize_tcp(correct, src, dst)
+    actual = struct.unpack("!H", wire[16:18])[0]
+    return actual == (segment.checksum_override & 0xFFFF)
+
+
+def serialize_udp(datagram: UDPDatagram, src: str, dst: str) -> bytes:
+    length = UDP_HEADER_LEN + len(datagram.payload)
+    header = struct.pack(
+        "!HHHH", datagram.src_port, datagram.dst_port, length, 0
+    )
+    blob = header + datagram.payload
+    if datagram.checksum_override is not None:
+        checksum = datagram.checksum_override & 0xFFFF
+    else:
+        pseudo = pseudo_header(ip_to_int(src), ip_to_int(dst), PROTO_UDP, len(blob))
+        checksum = internet_checksum(pseudo + blob) or 0xFFFF
+    return blob[:6] + struct.pack("!H", checksum) + blob[8:]
+
+
+def parse_udp(blob: bytes) -> UDPDatagram:
+    if len(blob) < UDP_HEADER_LEN:
+        raise ValueError("truncated UDP header")
+    src_port, dst_port, length, checksum = struct.unpack("!HHHH", blob[:8])
+    return UDPDatagram(
+        src_port=src_port,
+        dst_port=dst_port,
+        payload=blob[8 : max(8, length)],
+        checksum_override=checksum,
+    )
+
+
+def serialize_ip(packet: IPPacket) -> bytes:
+    """Serialize a whole IPv4 packet including its transport payload."""
+    body = transport_bytes(packet)
+    actual_total = IP_HEADER_LEN + len(body)
+    emitted_total = (
+        packet.total_length_override
+        if packet.total_length_override is not None
+        else actual_total
+    )
+    flags_and_offset = packet.frag_offset & 0x1FFF
+    if packet.dont_fragment:
+        flags_and_offset |= 0x4000
+    if packet.more_fragments:
+        flags_and_offset |= 0x2000
+    header = struct.pack(
+        "!BBHHHBBHII",
+        (4 << 4) | 5,
+        0,
+        emitted_total & 0xFFFF,
+        packet.identification & 0xFFFF,
+        flags_and_offset,
+        packet.ttl & 0xFF,
+        packet.protocol,
+        0,  # header checksum placeholder
+        ip_to_int(packet.src),
+        ip_to_int(packet.dst),
+    )
+    checksum = internet_checksum(header)
+    header = header[:10] + struct.pack("!H", checksum) + header[12:]
+    return header + body
+
+
+def transport_bytes(packet: IPPacket) -> bytes:
+    """Serialize just the transport payload of ``packet``."""
+    if isinstance(packet.payload, TCPSegment):
+        return serialize_tcp(packet.payload, packet.src, packet.dst)
+    if isinstance(packet.payload, UDPDatagram):
+        return serialize_udp(packet.payload, packet.src, packet.dst)
+    return bytes(packet.payload)
+
+
+def parse_ip(blob: bytes) -> IPPacket:
+    """Parse wire bytes into an :class:`IPPacket`.
+
+    Fragments (offset > 0 or MF set) keep raw transport bytes as payload;
+    a :class:`~repro.netstack.fragment.FragmentReassembler` restores the
+    transport object once all pieces arrive.
+    """
+    if len(blob) < IP_HEADER_LEN:
+        raise ValueError("truncated IP header")
+    (
+        version_ihl,
+        _tos,
+        total_length,
+        identification,
+        flags_and_offset,
+        ttl,
+        protocol,
+        _checksum,
+        src_int,
+        dst_int,
+    ) = struct.unpack("!BBHHHBBHII", blob[:IP_HEADER_LEN])
+    ihl = (version_ihl & 0xF) * 4
+    body = blob[ihl:]
+    frag_offset = flags_and_offset & 0x1FFF
+    more_fragments = bool(flags_and_offset & 0x2000)
+    dont_fragment = bool(flags_and_offset & 0x4000)
+    payload: Union[TCPSegment, UDPDatagram, bytes]
+    if frag_offset > 0 or more_fragments:
+        payload = body
+    elif protocol == PROTO_TCP:
+        payload = parse_tcp(body)
+    elif protocol == PROTO_UDP:
+        payload = parse_udp(body)
+    else:
+        payload = body
+    packet = IPPacket(
+        src=int_to_ip(src_int),
+        dst=int_to_ip(dst_int),
+        payload=payload,
+        ttl=ttl,
+        identification=identification,
+        dont_fragment=dont_fragment,
+        more_fragments=more_fragments,
+        frag_offset=frag_offset,
+    )
+    if total_length != ihl + len(body):
+        packet.total_length_override = total_length
+    return packet
+
+
+def roundtrip(packet: IPPacket) -> IPPacket:
+    """Serialize then reparse a packet (useful in tests)."""
+    return parse_ip(serialize_ip(packet))
+
+
+def wire_lengths(packet: IPPacket) -> Tuple[int, int]:
+    """Return ``(emitted_total_length, actual_total_length)`` for a packet.
+
+    A mismatch is the Table 3 "IP total length > actual length" anomaly.
+    """
+    actual = IP_HEADER_LEN + len(transport_bytes(packet))
+    emitted = (
+        packet.total_length_override
+        if packet.total_length_override is not None
+        else actual
+    )
+    return emitted, actual

@@ -1,0 +1,168 @@
+"""Insertion-packet crafting: the discrepancies of Tables 3 and 5.
+
+An *insertion packet* is crafted so the GFW accepts and processes it
+while the server ignores or never receives it (§3.2).  Each member of
+:class:`Discrepancy` is one ignore-path the §5.3 analysis confirmed;
+:data:`PREFERRED_DISCREPANCIES` encodes Table 5 — which discrepancies
+are usable for which packet type:
+
+| Packet type | TTL | MD5 | Bad ACK | Timestamp |
+|-------------|-----|-----|---------|-----------|
+| SYN         |  ✓  |     |         |           |
+| RST         |  ✓  |  ✓  |         |           |
+| Data        |  ✓  |  ✓  |    ✓    |     ✓     |
+
+(A SYN can only ride on TTL because servers do not check MD5/ACK fields
+before a connection exists in a way the GFW diverges on; RSTs with bad
+ACK numbers or old timestamps would still reset an ESTABLISHED server —
+§5.3 "effective control packets cannot be crafted with these".)
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro.netstack.options import MD5SignatureOption, TimestampOption
+from repro.netstack.packet import ACK, IPPacket, RST, seq_add
+from repro.netstack.wire import serialize_tcp
+from repro.core.strategy_base import ConnectionContext
+
+
+class Discrepancy(enum.Enum):
+    """One server-ignores / GFW-accepts divergence (Table 3)."""
+
+    #: TTL large enough to pass the GFW's hop, too small to reach the server.
+    LOW_TTL = "ttl"
+    #: Deliberately wrong transport checksum (server validates, GFW not).
+    BAD_CHECKSUM = "bad-checksum"
+    #: ACK number outside the server's acceptable window (RFC 5961 §5).
+    BAD_ACK = "bad-ack"
+    #: No TCP flags at all (modern servers require ACK on data).
+    NO_FLAG = "no-flag"
+    #: Unsolicited RFC 2385 MD5 signature option.
+    MD5_OPTION = "md5"
+    #: Timestamp older than the peer's ts_recent (PAWS failure).
+    OLD_TIMESTAMP = "old-timestamp"
+    #: RST/ACK whose ACK number mismatches (ignored in SYN_RECV).
+    RST_BAD_ACK = "rst-bad-ack"
+    #: TCP header length below 20 bytes.
+    SHORT_HEADER = "short-header"
+    #: IP total length larger than the actual packet.
+    OVERSIZE_IP_LENGTH = "oversize-ip-length"
+
+
+#: Table 5: which discrepancies each insertion-packet type may use.
+PREFERRED_DISCREPANCIES: Dict[str, Tuple[Discrepancy, ...]] = {
+    "SYN": (Discrepancy.LOW_TTL,),
+    "RST": (Discrepancy.LOW_TTL, Discrepancy.MD5_OPTION),
+    "DATA": (
+        Discrepancy.LOW_TTL,
+        Discrepancy.MD5_OPTION,
+        Discrepancy.BAD_ACK,
+        Discrepancy.OLD_TIMESTAMP,
+    ),
+}
+
+#: Discrepancies that client-side middleboxes are never seen to act on
+#: (§5.3 cross-validation): safe choices for the improved strategies.
+MIDDLEBOX_SAFE: Tuple[Discrepancy, ...] = (
+    Discrepancy.MD5_OPTION,
+    Discrepancy.BAD_ACK,
+    Discrepancy.OLD_TIMESTAMP,
+)
+
+
+def packet_type_of(packet: IPPacket) -> str:
+    segment = packet.tcp
+    if segment.is_syn:
+        return "SYN"
+    if segment.is_rst:
+        return "RST"
+    return "DATA"
+
+
+def apply_discrepancy(
+    packet: IPPacket, discrepancy: Discrepancy, ctx: ConnectionContext
+) -> IPPacket:
+    """Return a copy of ``packet`` carrying the given discrepancy.
+
+    The returned packet is what goes on the wire; the original is not
+    modified.  Mutually exclusive discrepancies are not enforced here —
+    callers apply exactly one per insertion packet so each failure mode
+    stays attributable (§5.3: "each ignore path will lead to a unique
+    reason").
+    """
+    crafted = packet.copy()
+    segment = crafted.tcp
+    if discrepancy is Discrepancy.LOW_TTL:
+        crafted.ttl = ctx.insertion_ttl
+    elif discrepancy is Discrepancy.BAD_CHECKSUM:
+        correct = _correct_checksum(crafted)
+        segment.checksum_override = (correct + 1) & 0xFFFF
+    elif discrepancy is Discrepancy.BAD_ACK:
+        segment.flags |= ACK
+        segment.ack = seq_add(segment.ack or ctx.rcv_nxt, 0x38000000)
+    elif discrepancy is Discrepancy.NO_FLAG:
+        segment.flags = 0
+        segment.ack = 0
+    elif discrepancy is Discrepancy.MD5_OPTION:
+        segment.options = list(segment.options) + [MD5SignatureOption()]
+    elif discrepancy is Discrepancy.OLD_TIMESTAMP:
+        old = ((ctx.last_tsval_sent or 1_000_000) - 5_000_000) & 0xFFFFFFFF
+        segment.options = [
+            option for option in segment.options if not isinstance(option, TimestampOption)
+        ] + [TimestampOption(tsval=old, tsecr=0)]
+    elif discrepancy is Discrepancy.RST_BAD_ACK:
+        segment.flags = RST | ACK
+        segment.ack = seq_add(segment.ack or ctx.rcv_nxt, 0x38000000)
+    elif discrepancy is Discrepancy.SHORT_HEADER:
+        segment.data_offset_override = 4
+    elif discrepancy is Discrepancy.OVERSIZE_IP_LENGTH:
+        crafted.total_length_override = 20 + _transport_len(crafted) + 64
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown discrepancy {discrepancy}")
+    crafted.meta["discrepancy"] = discrepancy.value
+    return crafted
+
+
+def craft_insertion(
+    ctx: ConnectionContext,
+    flags: int,
+    discrepancy: Discrepancy,
+    seq: Optional[int] = None,
+    ack: Optional[int] = None,
+    payload: bytes = b"",
+) -> IPPacket:
+    """Build an insertion packet on the context's connection and apply
+    one discrepancy, validating it against the Table 5 preference map."""
+    base = ctx.make_packet(flags=flags, seq=seq, ack=ack, payload=payload)
+    kind = packet_type_of(base)
+    allowed = PREFERRED_DISCREPANCIES.get(kind, tuple(Discrepancy))
+    if discrepancy not in allowed and discrepancy not in (
+        Discrepancy.BAD_CHECKSUM,
+        Discrepancy.NO_FLAG,
+        Discrepancy.RST_BAD_ACK,
+        Discrepancy.SHORT_HEADER,
+        Discrepancy.OVERSIZE_IP_LENGTH,
+    ):
+        raise ValueError(
+            f"discrepancy {discrepancy.value} is not usable on {kind} packets"
+        )
+    return apply_discrepancy(base, discrepancy, ctx)
+
+
+def _correct_checksum(packet: IPPacket) -> int:
+    pristine = packet.tcp.copy(checksum_override=None)
+    wire = serialize_tcp(pristine, packet.src, packet.dst)
+    return int.from_bytes(wire[16:18], "big")
+
+
+def _transport_len(packet: IPPacket) -> int:
+    return len(serialize_tcp(packet.tcp, packet.src, packet.dst))
+
+
+def junk_payload(ctx: ConnectionContext, length: int) -> bytes:
+    """Random printable garbage of ``length`` bytes (never matches rules)."""
+    alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789"
+    return bytes(ctx.rng.choice(alphabet) for _ in range(length))

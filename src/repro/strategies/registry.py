@@ -1,0 +1,117 @@
+"""Strategy registry: table-row identifiers → strategy factories.
+
+``TABLE1_ROWS`` lists the fifteen strategy/discrepancy combinations of
+Table 1 in row order; ``TABLE4_STRATEGIES`` the four evaluated in Table
+4.  :func:`make_strategy_factory` adapts a registry entry to the factory
+signature :class:`~repro.core.framework.InterceptionFramework` expects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.netstack.packet import ACK, FIN, RST
+from repro.core.strategy_base import ConnectionContext, EvasionStrategy, NoStrategy
+from repro.strategies.data_reassembly import (
+    InOrderDataOverlap,
+    OutOfOrderIPFragments,
+    OutOfOrderTCPSegments,
+)
+from repro.strategies.improved import ImprovedInOrderOverlap, ImprovedTCBTeardown
+from repro.strategies.insertion import Discrepancy
+from repro.strategies.resync_desync import ResyncDesync, TCBCreationResyncDesync
+from repro.strategies.tcb_creation import TCBCreationWithSYN
+from repro.strategies.tcb_reversal import TCBReversal, TeardownReversal
+from repro.strategies.tcb_teardown import TCBTeardown
+from repro.strategies.west_chamber import WestChamber
+
+StrategyFactory = Callable[[ConnectionContext], EvasionStrategy]
+
+
+def _teardown(flags: int, discrepancy: Discrepancy) -> StrategyFactory:
+    return lambda ctx: TCBTeardown(ctx, teardown_flags=flags, discrepancy=discrepancy)
+
+
+def _inorder(discrepancy: Discrepancy) -> StrategyFactory:
+    return lambda ctx: InOrderDataOverlap(ctx, discrepancy=discrepancy)
+
+
+#: Every selectable strategy, keyed by a stable identifier.
+STRATEGY_REGISTRY: Dict[str, StrategyFactory] = {
+    "none": NoStrategy,
+    # -- §3 existing strategies (Table 1) ---------------------------------
+    "tcb-creation-syn/ttl": lambda ctx: TCBCreationWithSYN(
+        ctx, discrepancy=Discrepancy.LOW_TTL
+    ),
+    "tcb-creation-syn/bad-checksum": lambda ctx: TCBCreationWithSYN(
+        ctx, discrepancy=Discrepancy.BAD_CHECKSUM
+    ),
+    "ooo-ip-fragments": OutOfOrderIPFragments,
+    "ooo-tcp-segments": OutOfOrderTCPSegments,
+    "inorder-overlap/ttl": _inorder(Discrepancy.LOW_TTL),
+    "inorder-overlap/bad-ack": _inorder(Discrepancy.BAD_ACK),
+    "inorder-overlap/bad-checksum": _inorder(Discrepancy.BAD_CHECKSUM),
+    "inorder-overlap/no-flag": _inorder(Discrepancy.NO_FLAG),
+    "tcb-teardown-rst/ttl": _teardown(RST, Discrepancy.LOW_TTL),
+    "tcb-teardown-rst/bad-checksum": _teardown(RST, Discrepancy.BAD_CHECKSUM),
+    "tcb-teardown-rstack/ttl": _teardown(RST | ACK, Discrepancy.LOW_TTL),
+    "tcb-teardown-rstack/bad-checksum": _teardown(RST | ACK, Discrepancy.BAD_CHECKSUM),
+    "tcb-teardown-fin/ttl": _teardown(FIN, Discrepancy.LOW_TTL),
+    "tcb-teardown-fin/bad-checksum": _teardown(FIN, Discrepancy.BAD_CHECKSUM),
+    # -- historical baseline (§2.2/§9) -------------------------------------
+    "west-chamber": WestChamber,
+    # -- §5 new strategies --------------------------------------------------
+    "resync-desync": ResyncDesync,
+    "tcb-reversal": TCBReversal,
+    # -- §7.1 improved / combined strategies (Table 4) -----------------------
+    "improved-tcb-teardown": ImprovedTCBTeardown,
+    "improved-inorder-overlap": ImprovedInOrderOverlap,
+    "tcb-creation+resync-desync": TCBCreationResyncDesync,
+    "tcb-teardown+tcb-reversal": TeardownReversal,
+}
+
+#: (row label, strategy id, discrepancy label) in Table 1 order.
+TABLE1_ROWS: List[Tuple[str, str, str]] = [
+    ("No Strategy", "none", "N/A"),
+    ("TCB creation with SYN", "tcb-creation-syn/ttl", "TTL"),
+    ("TCB creation with SYN", "tcb-creation-syn/bad-checksum", "Bad checksum"),
+    ("Reassembly out-of-order data", "ooo-ip-fragments", "IP fragments"),
+    ("Reassembly out-of-order data", "ooo-tcp-segments", "TCP segments"),
+    ("Reassembly in-order data", "inorder-overlap/ttl", "TTL"),
+    ("Reassembly in-order data", "inorder-overlap/bad-ack", "Bad ACK number"),
+    ("Reassembly in-order data", "inorder-overlap/bad-checksum", "Bad checksum"),
+    ("Reassembly in-order data", "inorder-overlap/no-flag", "No TCP flag"),
+    ("TCB teardown with RST", "tcb-teardown-rst/ttl", "TTL"),
+    ("TCB teardown with RST", "tcb-teardown-rst/bad-checksum", "Bad checksum"),
+    ("TCB teardown with RST/ACK", "tcb-teardown-rstack/ttl", "TTL"),
+    ("TCB teardown with RST/ACK", "tcb-teardown-rstack/bad-checksum", "Bad checksum"),
+    ("TCB teardown with FIN", "tcb-teardown-fin/ttl", "TTL"),
+    ("TCB teardown with FIN", "tcb-teardown-fin/bad-checksum", "Bad checksum"),
+]
+
+#: (row label, strategy id) in Table 4 order.
+TABLE4_STRATEGIES: List[Tuple[str, str]] = [
+    ("Improved TCB Teardown", "improved-tcb-teardown"),
+    ("Improved In-order Data Overlapping", "improved-inorder-overlap"),
+    ("TCB Creation + Resync/Desync", "tcb-creation+resync-desync"),
+    ("TCB Teardown + TCB Reversal", "tcb-teardown+tcb-reversal"),
+]
+
+#: The order INTANG tries strategies for an unknown server (best
+#: measured performers first, per Table 4's averages).
+DEFAULT_PRIORITY: List[str] = [
+    "improved-inorder-overlap",
+    "improved-tcb-teardown",
+    "tcb-teardown+tcb-reversal",
+    "tcb-creation+resync-desync",
+]
+
+
+def make_strategy_factory(strategy_id: str) -> StrategyFactory:
+    """Look up a registry entry (raises KeyError on unknown ids)."""
+    try:
+        return STRATEGY_REGISTRY[strategy_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {strategy_id!r}; known: {sorted(STRATEGY_REGISTRY)}"
+        ) from None

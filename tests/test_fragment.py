@@ -1,0 +1,162 @@
+"""IP fragmentation and overlap-policy reassembly tests.
+
+The first-wins / last-wins divergence here is the engine behind the
+out-of-order IP-fragment evasion strategy (§3.2), so both policies are
+pinned down precisely, including partial overlaps.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netstack.fragment import (
+    FragmentReassembler,
+    OverlapPolicy,
+    fragment_packet,
+    make_fragment,
+)
+from repro.netstack.packet import ACK, IPPacket, TCPSegment
+from repro.netstack.wire import transport_bytes
+
+SRC, DST = "10.0.0.1", "10.0.0.2"
+
+
+def _packet(payload=b"A" * 64):
+    segment = TCPSegment(src_port=1, dst_port=80, seq=5, flags=ACK, payload=payload)
+    return IPPacket(src=SRC, dst=DST, payload=segment, identification=42)
+
+
+class TestFragmentation:
+    def test_sizes_and_offsets(self):
+        packet = _packet()
+        fragments = fragment_packet(packet, fragment_size=24)
+        assert fragments[0].frag_offset == 0
+        assert fragments[1].frag_offset == 3  # 24 bytes / 8
+        assert all(f.more_fragments for f in fragments[:-1])
+        assert not fragments[-1].more_fragments
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValueError):
+            fragment_packet(_packet(), fragment_size=10)
+
+    def test_rejects_oversized_fragment_size(self):
+        with pytest.raises(ValueError):
+            fragment_packet(_packet(payload=b"ab"), fragment_size=4096)
+
+    def test_fragment_bytes_reconstruct_original(self):
+        packet = _packet()
+        wire = transport_bytes(packet)
+        fragments = fragment_packet(packet, fragment_size=16)
+        rebuilt = b"".join(bytes(f.payload) for f in fragments)
+        assert rebuilt == wire
+
+    def test_make_fragment_requires_aligned_offset(self):
+        with pytest.raises(ValueError):
+            make_fragment(_packet(), b"x" * 8, byte_offset=5, more_fragments=True)
+
+
+class TestReassembly:
+    def test_in_order_reassembly(self):
+        packet = _packet()
+        reassembler = FragmentReassembler()
+        result = None
+        for fragment in fragment_packet(packet, fragment_size=24):
+            result = reassembler.add(fragment)
+        assert result is not None
+        assert result.tcp.payload == packet.tcp.payload
+        assert reassembler.pending_count() == 0
+
+    def test_out_of_order_reassembly(self):
+        packet = _packet()
+        fragments = fragment_packet(packet, fragment_size=24)
+        reassembler = FragmentReassembler()
+        result = reassembler.add(fragments[-1])
+        assert result is None
+        for fragment in fragments[:-1]:
+            result = reassembler.add(fragment)
+        assert result is not None
+        assert result.tcp.payload == packet.tcp.payload
+
+    def test_non_fragment_passes_through(self):
+        packet = _packet()
+        assert FragmentReassembler().add(packet) is packet
+
+    def test_flows_keyed_by_identification(self):
+        packet_a = _packet()
+        packet_b = _packet()
+        packet_b.identification = 43
+        reassembler = FragmentReassembler()
+        frags_a = fragment_packet(packet_a, 24)
+        frags_b = fragment_packet(packet_b, 24)
+        assert reassembler.add(frags_a[0]) is None
+        assert reassembler.add(frags_b[0]) is None
+        assert reassembler.pending_count() == 2
+
+    def test_first_wins_keeps_garbage_sent_first(self):
+        """The GFW-side behaviour the evasion strategy exploits."""
+        packet = _packet()
+        wire = transport_bytes(packet)
+        split = 32
+        garbage = bytes(len(wire) - split)
+        reassembler = FragmentReassembler(policy=OverlapPolicy.FIRST_WINS)
+        assert reassembler.add(
+            make_fragment(packet, garbage, split, more_fragments=False)
+        ) is None
+        assert reassembler.add(
+            make_fragment(packet, wire[split:], split, more_fragments=False)
+        ) is None
+        result = reassembler.add(
+            make_fragment(packet, wire[:split], 0, more_fragments=True)
+        )
+        assert result is not None
+        rebuilt = transport_bytes(result)
+        assert rebuilt[split:] == garbage  # garbage was kept
+
+    def test_last_wins_keeps_real_data_sent_second(self):
+        """The endpoint-side behaviour that recovers the real request."""
+        packet = _packet()
+        wire = transport_bytes(packet)
+        split = 32
+        garbage = bytes(len(wire) - split)
+        reassembler = FragmentReassembler(policy=OverlapPolicy.LAST_WINS)
+        reassembler.add(make_fragment(packet, garbage, split, more_fragments=False))
+        reassembler.add(make_fragment(packet, wire[split:], split, more_fragments=False))
+        result = reassembler.add(
+            make_fragment(packet, wire[:split], 0, more_fragments=True)
+        )
+        assert result is not None
+        assert transport_bytes(result)[split:] == wire[split:]
+
+    def test_partial_overlap_byte_granularity(self):
+        packet = _packet(payload=b"B" * 44)  # wire = 20 + 44 = 64 bytes
+        wire = transport_bytes(packet)
+        reassembler = FragmentReassembler(policy=OverlapPolicy.FIRST_WINS)
+        reassembler.add(make_fragment(packet, b"\xff" * 24, 24, False))
+        reassembler.add(make_fragment(packet, wire[16:], 16, False))
+        result = reassembler.add(make_fragment(packet, wire[:16], 0, True))
+        assert result is not None
+        rebuilt = transport_bytes(result)
+        # Bytes 24..47 were claimed first by the garbage fragment.
+        assert rebuilt[24:48] == b"\xff" * 24
+        assert rebuilt[16:24] == wire[16:24]
+
+    def test_raw_payload_required(self):
+        fragment = _packet()
+        fragment.more_fragments = True
+        with pytest.raises(TypeError):
+            FragmentReassembler().add(fragment)
+
+    @given(st.integers(1, 6), st.binary(min_size=48, max_size=120))
+    def test_any_arrival_order_reassembles(self, seed, payload):
+        """Property: every permutation of fragments reassembles to the
+        original wire bytes when there are no overlaps."""
+        import random as _random
+
+        packet = _packet(payload=payload)
+        fragments = fragment_packet(packet, fragment_size=16)
+        order = list(fragments)
+        _random.Random(seed).shuffle(order)
+        reassembler = FragmentReassembler()
+        results = [reassembler.add(fragment) for fragment in order]
+        completed = [r for r in results if r is not None]
+        assert len(completed) == 1
+        assert transport_bytes(completed[0]) == transport_bytes(packet)

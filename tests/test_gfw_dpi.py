@@ -1,0 +1,136 @@
+"""DPI engine tests: keyword matching, protocol dispatch, latching."""
+
+import pytest
+
+from repro.gfw.dpi import StreamInspector
+from repro.gfw.rules import DEFAULT_KEYWORDS, Detection, RuleSet
+from repro.apps.dns import encode_query
+from repro.apps.tor import TOR_HANDSHAKE_PREAMBLE
+from repro.apps.vpn import OPENVPN_TCP_PREAMBLE
+
+
+def _inspector(**rule_kw):
+    return StreamInspector(RuleSet(**rule_kw))
+
+
+class TestKeywordMatching:
+    def test_keyword_in_request_line(self):
+        detection = _inspector().feed(b"GET /?q=ultrasurf HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert detection is not None
+        assert detection.kind == "http-keyword"
+        assert detection.detail == "ultrasurf"
+
+    def test_keyword_case_insensitive(self):
+        detection = _inspector().feed(b"GET /UltraSurf HTTP/1.1\r\n\r\n")
+        assert detection is not None
+
+    def test_benign_request_clean(self):
+        assert _inspector().feed(b"GET /news HTTP/1.1\r\nHost: x\r\n\r\n") is None
+
+    def test_keyword_split_across_feeds(self):
+        inspector = _inspector()
+        assert inspector.feed(b"GET /?q=ultra") is None
+        detection = inspector.feed(b"surf HTTP/1.1\r\n\r\n")
+        assert detection is not None
+
+    def test_detection_latches(self):
+        inspector = _inspector()
+        first = inspector.feed(b"GET /ultrasurf HTTP/1.1\r\n\r\n")
+        second = inspector.feed(b"more bytes")
+        assert first is second
+
+    def test_keyword_in_header_detected(self):
+        detection = _inspector().feed(
+            b"GET / HTTP/1.1\r\nHost: www.ultrasurf.example\r\n\r\n"
+        )
+        assert detection is not None
+
+    def test_non_http_stream_with_keyword_not_matched(self):
+        """The rule engine keys keyword matching to HTTP requests."""
+        assert _inspector().feed(b"\x00\x01ultrasurf binary protocol") is None
+
+    def test_custom_keywords(self):
+        inspector = _inspector(keywords=[b"forbidden-word"])
+        assert inspector.feed(b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n") is None
+        assert inspector.feed(b"GET /forbidden-word HTTP/1.1\r\n\r\n") is not None
+
+    def test_inspection_window_bounds_memory(self):
+        inspector = _inspector()
+        inspector.feed(b"GET /" + b"a" * 100_000)
+        assert len(inspector._buffer) <= 8192
+
+
+class TestHTTPResponses:
+    def test_responses_not_censored_by_default(self):
+        """Park et al.: response filtering discontinued (§2.1)."""
+        body = b"HTTP/1.1 301 Moved\r\nLocation: /ultrasurf\r\n\r\n"
+        assert _inspector().feed(body) is None
+
+    def test_response_censorship_can_be_enabled(self):
+        """§3.3: GFW devices on *some* paths detect response keywords."""
+        inspector = _inspector(censor_http_responses=True)
+        body = b"HTTP/1.1 301 Moved\r\nLocation: /ultrasurf\r\n\r\n"
+        detection = inspector.feed(body)
+        assert detection is not None
+        assert detection.kind == "http-response-keyword"
+
+
+class TestDNSOverTCP:
+    def _tcp_dns(self, qname):
+        query = encode_query(qid=7, qname=qname)
+        return len(query).to_bytes(2, "big") + query
+
+    def test_poisoned_domain_detected(self):
+        detection = _inspector().feed(self._tcp_dns("www.dropbox.com"))
+        assert detection is not None
+        assert detection.kind == "dns-domain"
+        assert detection.detail == "www.dropbox.com"
+
+    def test_subdomain_of_poisoned_domain_detected(self):
+        detection = _inspector().feed(self._tcp_dns("cdn.www.dropbox.com"))
+        assert detection is not None
+
+    def test_clean_domain_passes(self):
+        assert _inspector().feed(self._tcp_dns("example.org")) is None
+
+    def test_partial_message_waits_for_more_bytes(self):
+        inspector = _inspector()
+        framed = self._tcp_dns("www.dropbox.com")
+        assert inspector.feed(framed[:5]) is None
+        assert inspector.feed(framed[5:]) is not None
+
+
+class TestFingerprints:
+    def test_tor_preamble_detected(self):
+        detection = _inspector().feed(TOR_HANDSHAKE_PREAMBLE + b"...")
+        assert detection is not None
+        assert detection.kind == "tor"
+
+    def test_tor_detection_disabled_on_unfiltered_paths(self):
+        inspector = _inspector(detect_tor=False)
+        assert inspector.feed(TOR_HANDSHAKE_PREAMBLE) is None
+
+    def test_vpn_preamble_detected(self):
+        detection = _inspector().feed(OPENVPN_TCP_PREAMBLE)
+        assert detection is not None
+        assert detection.kind == "vpn"
+
+    def test_vpn_detection_can_be_disabled(self):
+        inspector = _inspector(detect_vpn=False)
+        assert inspector.feed(OPENVPN_TCP_PREAMBLE) is None
+
+
+class TestRuleSet:
+    def test_default_keywords_include_ultrasurf(self):
+        assert b"ultrasurf" in DEFAULT_KEYWORDS
+
+    def test_domain_matching_normalizes(self):
+        rules = RuleSet()
+        assert rules.domain_is_poisoned("WWW.DROPBOX.COM.")
+        assert not rules.domain_is_poisoned("dropbox.com.evil.example")
+
+    def test_detection_str(self):
+        assert str(Detection("tor", "x")) == "tor:x"
+
+    def test_empty_feed_returns_none(self):
+        assert _inspector().feed(b"") is None

@@ -1,0 +1,158 @@
+"""ReceiveBuffer tests: in-order first-wins semantics, out-of-order
+overlap policies, windows, and wraparound."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netstack.fragment import OverlapPolicy
+from repro.tcp.reassembly import ReceiveBuffer
+
+
+class TestInOrder:
+    def test_simple_delivery(self):
+        buffer = ReceiveBuffer(rcv_nxt=1000)
+        assert buffer.add(1000, b"hello") == b"hello"
+        assert buffer.rcv_nxt == 1005
+
+    def test_consecutive_segments(self):
+        buffer = ReceiveBuffer(rcv_nxt=0)
+        assert buffer.add(0, b"ab") == b"ab"
+        assert buffer.add(2, b"cd") == b"cd"
+        assert buffer.delivered_bytes == 4
+
+    def test_duplicate_ignored(self):
+        buffer = ReceiveBuffer(rcv_nxt=0)
+        buffer.add(0, b"abcd")
+        assert buffer.add(0, b"XXXX") == b""
+        assert buffer.rcv_nxt == 4
+
+    def test_retransmission_with_overlap_trimmed(self):
+        """First-wins at the consumed boundary: the in-order overlap
+        evasion strategy's foundation."""
+        buffer = ReceiveBuffer(rcv_nxt=0)
+        buffer.add(0, b"abcd")
+        delivered = buffer.add(2, b"CDEF")
+        assert delivered == b"EF"
+
+    def test_partially_old_data(self):
+        buffer = ReceiveBuffer(rcv_nxt=10)
+        assert buffer.add(8, b"xxYZ") == b"YZ"
+
+    def test_empty_data_is_noop(self):
+        buffer = ReceiveBuffer(rcv_nxt=0)
+        assert buffer.add(0, b"") == b""
+
+
+class TestOutOfOrder:
+    def test_gap_then_fill(self):
+        buffer = ReceiveBuffer(rcv_nxt=0)
+        assert buffer.add(4, b"efgh") == b""
+        assert buffer.has_gap()
+        assert buffer.add(0, b"abcd") == b"abcdefgh"
+        assert not buffer.has_gap()
+
+    def test_pending_bytes_count(self):
+        buffer = ReceiveBuffer(rcv_nxt=0)
+        buffer.add(10, b"abc")
+        assert buffer.pending_bytes() == 3
+
+    def test_first_wins_ooo_overlap(self):
+        """Endpoint stacks keep the first queued version (real data)."""
+        buffer = ReceiveBuffer(rcv_nxt=0, policy=OverlapPolicy.FIRST_WINS)
+        buffer.add(4, b"REAL")
+        buffer.add(4, b"junk")
+        assert buffer.add(0, b"head") == b"headREAL"
+
+    def test_last_wins_ooo_overlap(self):
+        """The old GFW keeps the latter version (junk) — §3.2."""
+        buffer = ReceiveBuffer(rcv_nxt=0, policy=OverlapPolicy.LAST_WINS)
+        buffer.add(4, b"REAL")
+        buffer.add(4, b"junk")
+        assert buffer.add(0, b"head") == b"headjunk"
+
+    def test_partial_ooo_overlap_byte_level(self):
+        buffer = ReceiveBuffer(rcv_nxt=0, policy=OverlapPolicy.FIRST_WINS)
+        buffer.add(2, b"ccdd")
+        buffer.add(4, b"XXee")
+        assert buffer.add(0, b"ab") == b"abccddee"
+
+
+class TestWindow:
+    def test_data_beyond_window_dropped(self):
+        buffer = ReceiveBuffer(rcv_nxt=0, window=100)
+        assert buffer.add(150, b"far") == b""
+        assert buffer.pending_bytes() == 0
+
+    def test_data_straddling_window_edge_trimmed(self):
+        buffer = ReceiveBuffer(rcv_nxt=0, window=6)
+        buffer.add(4, b"abcd")  # only offsets 4,5 fit
+        assert buffer.pending_bytes() == 2
+
+    def test_sequence_wraparound(self):
+        start = 0xFFFFFFFE
+        buffer = ReceiveBuffer(rcv_nxt=start)
+        assert buffer.add(start, b"abcd") == b"abcd"
+        assert buffer.rcv_nxt == 2
+
+    def test_old_data_across_wrap_ignored(self):
+        buffer = ReceiveBuffer(rcv_nxt=4)
+        assert buffer.add(0xFFFFFFF0, b"old") == b""
+
+
+class TestAdvance:
+    def test_advance_jumps_rcv_nxt_and_keeps_pending(self):
+        buffer = ReceiveBuffer(rcv_nxt=0)
+        buffer.add(5, b"zz")
+        buffer.advance(5)
+        assert buffer.rcv_nxt == 5
+        # The queued bytes now sit exactly at rcv_nxt; the next touch
+        # drains them (first-wins keeps the originally queued values).
+        assert buffer.add(5, b"XX") == b"zz"
+        assert buffer.rcv_nxt == 7
+
+    def test_advance_discards_bytes_before_new_anchor(self):
+        buffer = ReceiveBuffer(rcv_nxt=0)
+        buffer.add(3, b"abc")  # offsets 3,4,5
+        buffer.advance(5)
+        assert buffer.pending_bytes() == 1  # only offset 5 survives
+
+    def test_advance_backwards_rejected(self):
+        buffer = ReceiveBuffer(rcv_nxt=10)
+        with pytest.raises(ValueError):
+            buffer.advance(5)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 40), st.binary(min_size=1, max_size=12)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_property_stream_prefix_consistency(chunks):
+    """Property: whatever the arrival order/overlap, delivered bytes form
+    a contiguous stream and rcv_nxt advances by exactly that length."""
+    buffer = ReceiveBuffer(rcv_nxt=100)
+    total = bytearray()
+    for offset, data in chunks:
+        total.extend(buffer.add(100 + offset, data))
+    assert buffer.rcv_nxt == (100 + len(total)) & 0xFFFFFFFF
+
+
+@given(st.data())
+def test_property_first_vs_last_wins_same_coverage(data):
+    """Property: the two policies deliver identical *byte positions*
+    (coverage), differing only in the values kept on conflicts."""
+    chunks = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.binary(min_size=1, max_size=8)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    first = ReceiveBuffer(rcv_nxt=0, policy=OverlapPolicy.FIRST_WINS)
+    last = ReceiveBuffer(rcv_nxt=0, policy=OverlapPolicy.LAST_WINS)
+    first_total = sum(len(first.add(o, d)) for o, d in chunks)
+    last_total = sum(len(last.add(o, d)) for o, d in chunks)
+    assert first_total == last_total
+    assert first.rcv_nxt == last.rcv_nxt
