@@ -15,6 +15,7 @@ import random
 from conftest import report
 
 from repro.core.intang import INTANG
+from repro.experiments.parallel import map_trials, note_trials
 from repro.gfw import evolved_config
 from repro.experiments.tables import render_table
 
@@ -40,25 +41,30 @@ STRATEGIES = (
 TRIALS = 12
 
 
+def _countermeasure_trial(task):
+    """Process-pool work unit: one hardened-GFW fetch, True when evaded."""
+    tweaks, strategy, seed = task
+    note_trials()
+    config = evolved_config()
+    for name, value in tweaks.items():
+        setattr(config, name, value)
+    world = mini_topology(gfw_config=config, seed=seed)
+    INTANG(
+        host=world.client, tcp_host=world.client_tcp,
+        clock=world.clock, network=world.network,
+        fixed_strategy=strategy, rng=random.Random(seed + 3),
+    )
+    exchange = fetch(world)
+    return exchange.got_response and not world.gfw.detections
+
+
 def countermeasure_sweep() -> str:
     rows = []
     for label, tweaks in HARDENINGS:
         cells = [label]
         for strategy in STRATEGIES:
-            evaded = 0
-            for seed in range(TRIALS):
-                config = evolved_config()
-                for name, value in tweaks.items():
-                    setattr(config, name, value)
-                world = mini_topology(gfw_config=config, seed=seed)
-                INTANG(
-                    host=world.client, tcp_host=world.client_tcp,
-                    clock=world.clock, network=world.network,
-                    fixed_strategy=strategy, rng=random.Random(seed + 3),
-                )
-                exchange = fetch(world)
-                if exchange.got_response and not world.gfw.detections:
-                    evaded += 1
+            tasks = [(dict(tweaks), strategy, seed) for seed in range(TRIALS)]
+            evaded = sum(map_trials(_countermeasure_trial, tasks))
             cells.append(f"{evaded * 100 // TRIALS}%")
         rows.append(cells)
     text = render_table(

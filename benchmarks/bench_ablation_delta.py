@@ -17,7 +17,7 @@ from repro.experiments import (
     inside_china_catalog,
     outside_china_catalog,
 )
-from repro.experiments.runner import RateTriple, run_http_trial
+from repro.experiments.runner import RateTriple, run_http_outcomes
 from repro.experiments.tables import render_table
 
 STRATEGY = "tcb-creation+resync-desync"
@@ -27,15 +27,13 @@ def _sweep(vantages, sites, deltas, seed=13):
     rows = []
     for delta in deltas:
         calibration = DEFAULT_CALIBRATION.variant(hop_delta=delta)
-        outcomes = []
-        for v_index, vantage in enumerate(vantages):
-            for w_index, website in enumerate(sites):
-                record = run_http_trial(
-                    vantage, website, STRATEGY, calibration,
-                    seed=seed + v_index * 1009 + w_index * 17 + delta * 131,
-                )
-                outcomes.append(record.outcome)
-        triple = RateTriple.from_outcomes(outcomes)
+        tasks = [
+            (vantage, website, STRATEGY, calibration,
+             seed + v_index * 1009 + w_index * 17 + delta * 131, True)
+            for v_index, vantage in enumerate(vantages)
+            for w_index, website in enumerate(sites)
+        ]
+        triple = RateTriple.from_outcomes(run_http_outcomes(tasks))
         s, f1, f2 = triple.as_percentages()
         rows.append([f"delta={delta}", f"{s:.1f}%", f"{f1:.1f}%", f"{f2:.1f}%"])
     return rows

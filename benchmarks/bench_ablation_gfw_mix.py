@@ -7,6 +7,8 @@ TCB creation alone collapses as evolved devices appear; the combination
 is flat near 100 % across the whole mixture — the §7.1 argument in one
 table."""
 
+import zlib
+
 from conftest import bench_sites, report
 
 from repro.experiments import (
@@ -14,7 +16,7 @@ from repro.experiments import (
     DEFAULT_CALIBRATION,
     outside_china_catalog,
 )
-from repro.experiments.runner import RateTriple, run_http_trial
+from repro.experiments.runner import RateTriple, run_http_outcomes
 from repro.experiments.tables import render_table
 
 SWEEPS = (
@@ -37,15 +39,16 @@ def mixture_sweep(sites_count: int) -> str:
         )
         cells = [label]
         for strategy in STRATEGIES:
-            outcomes = []
-            for v_index, vantage in enumerate(vantages):
-                for w_index, website in enumerate(sites):
-                    record = run_http_trial(
-                        vantage, website, strategy, calibration,
-                        seed=hash((label, strategy, v_index, w_index)) & 0xFFFF,
-                    )
-                    outcomes.append(record.outcome)
-            triple = RateTriple.from_outcomes(outcomes)
+            # Stable cell seed (hash() is salted per interpreter run).
+            tasks = [
+                (vantage, website, strategy, calibration,
+                 zlib.crc32(f"{label}|{strategy}|{v_index}|{w_index}".encode())
+                 & 0xFFFF,
+                 True)
+                for v_index, vantage in enumerate(vantages)
+                for w_index, website in enumerate(sites)
+            ]
+            triple = RateTriple.from_outcomes(run_http_outcomes(tasks))
             cells.append(f"{triple.success * 100:.0f}%")
         rows.append(cells)
     return render_table(

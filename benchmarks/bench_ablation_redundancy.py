@@ -9,7 +9,8 @@ import random
 
 from conftest import report
 
-from repro.core.intang import INTANG
+from repro.core.framework import InterceptionFramework
+from repro.experiments.parallel import map_trials, note_trials
 from repro.strategies.improved import ImprovedTCBTeardown
 from repro.strategies.insertion import Discrepancy
 from repro.experiments.tables import render_table
@@ -22,27 +23,30 @@ LOSS_RATE = 0.30
 TRIALS = 40
 
 
+def _redundancy_trial(task):
+    """Process-pool work unit: one lossy-path fetch, True when evaded."""
+    copies, seed = task
+    note_trials()
+    world = mini_topology(seed=seed, loss_rate=LOSS_RATE)
+
+    def factory(ctx):
+        return ImprovedTCBTeardown(
+            ctx, discrepancies=(Discrepancy.MD5_OPTION,), copies=copies
+        )
+
+    InterceptionFramework(
+        host=world.client, clock=world.clock,
+        rng=random.Random(seed), strategy_factory=factory,
+    )
+    exchange = fetch(world, duration=18.0)
+    return exchange.got_response and not world.gfw_resets_at_client
+
+
 def redundancy_sweep() -> str:
     rows = []
     for copies in (1, 2, 3, 5):
-        evaded = 0
-        for seed in range(TRIALS):
-            world = mini_topology(seed=seed, loss_rate=LOSS_RATE)
-
-            def factory(ctx, copies=copies):
-                return ImprovedTCBTeardown(
-                    ctx, discrepancies=(Discrepancy.MD5_OPTION,), copies=copies
-                )
-
-            from repro.core.framework import InterceptionFramework
-
-            InterceptionFramework(
-                host=world.client, clock=world.clock,
-                rng=random.Random(seed), strategy_factory=factory,
-            )
-            exchange = fetch(world, duration=18.0)
-            if exchange.got_response and not world.gfw_resets_at_client:
-                evaded += 1
+        tasks = [(copies, seed) for seed in range(TRIALS)]
+        evaded = sum(map_trials(_redundancy_trial, tasks))
         rows.append([str(copies), f"{evaded / TRIALS * 100:.0f}%"])
     text = render_table(
         ["insertion copies", "evasion success"],

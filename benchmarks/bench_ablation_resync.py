@@ -15,7 +15,7 @@ from repro.experiments import (
     DEFAULT_CALIBRATION,
     outside_china_catalog,
 )
-from repro.experiments.runner import RateTriple, run_http_trial
+from repro.experiments.runner import RateTriple, run_http_outcomes
 from repro.experiments.tables import render_table
 
 PROBABILITIES = (0.0, 0.2, 0.5, 0.8, 1.0)
@@ -35,16 +35,15 @@ def resync_sweep(sites_count: int = 10) -> str:
         )
         cells = [f"P(resync)={probability:.1f}"]
         for strategy in STRATEGIES:
-            outcomes = []
-            for v_index, vantage in enumerate(vantages):
-                for w_index, website in enumerate(sites):
-                    record = run_http_trial(
-                        vantage, website, strategy, calibration,
-                        seed=(v_index * 7919 + w_index * 31
-                              + int(probability * 10) * 3) & 0xFFFF,
-                    )
-                    outcomes.append(record.outcome)
-            triple = RateTriple.from_outcomes(outcomes)
+            tasks = [
+                (vantage, website, strategy, calibration,
+                 (v_index * 7919 + w_index * 31
+                  + int(probability * 10) * 3) & 0xFFFF,
+                 True)
+                for v_index, vantage in enumerate(vantages)
+                for w_index, website in enumerate(sites)
+            ]
+            triple = RateTriple.from_outcomes(run_http_outcomes(tasks))
             cells.append(f"{triple.success * 100:.0f}%")
         rows.append(cells)
     text = render_table(

@@ -6,6 +6,8 @@ Shape to check: ~99 % success everywhere except Tianjin (whose resolver
 paths cross state-adopting equipment, §7.2), dragging the all-vantage
 average to ~93 %; OpenDNS resolvers work even without INTANG."""
 
+import zlib
+
 from conftest import bench_dns_queries, report
 
 from repro.experiments import (
@@ -13,6 +15,7 @@ from repro.experiments import (
     DEFAULT_CALIBRATION,
     DYN_RESOLVERS,
     OPENDNS_RESOLVERS,
+    run_dns_cell,
     run_dns_trial,
 )
 from repro.experiments.tables import format_table6
@@ -23,16 +26,14 @@ PAPER = {"Dyn 1": (0.986, 0.927), "Dyn 2": (0.996, 0.931)}
 def regenerate_table6(queries: int) -> str:
     rows = []
     for resolver in DYN_RESOLVERS:
+        # Stable per-resolver salt (hash() varies across interpreter runs).
+        salt = zlib.crc32(resolver.ip.encode("utf-8")) % 977
         per_vantage = {}
         for vantage in CHINA_VANTAGE_POINTS:
-            successes = sum(
-                run_dns_trial(
-                    vantage, resolver, calibration=DEFAULT_CALIBRATION,
-                    seed=s + hash(resolver.ip) % 977,
-                ).success
-                for s in range(queries)
+            per_vantage[vantage.name] = run_dns_cell(
+                vantage, resolver, queries,
+                calibration=DEFAULT_CALIBRATION, seed=salt,
             )
-            per_vantage[vantage.name] = successes / queries
         except_tj = [
             rate for name, rate in per_vantage.items()
             if name != "unicom-tianjin"

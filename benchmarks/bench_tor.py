@@ -9,7 +9,7 @@ Reproduces the section's three findings across all 11 vantage points:
 
 from conftest import report
 
-from repro.experiments import CLEAN_ROOM, outside_china_catalog, run_tor_trial
+from repro.experiments import CLEAN_ROOM, outside_china_catalog, run_tor_cell
 from repro.experiments.tables import render_table
 from repro.experiments.vantage import CHINA_VANTAGE_POINTS
 
@@ -21,11 +21,13 @@ def tor_campaign() -> str:
     intang_successes = 0
     bare_blocked = 0
     unfiltered = 0
-    for vantage in CHINA_VANTAGE_POINTS:
-        bare = run_tor_trial(vantage, BRIDGE, None, CLEAN_ROOM, seed=2)
-        helped = run_tor_trial(
-            vantage, BRIDGE, "improved-tcb-teardown", CLEAN_ROOM, seed=2
-        )
+    bare_results = run_tor_cell(CHINA_VANTAGE_POINTS, BRIDGE, None, CLEAN_ROOM, seed=2)
+    helped_results = run_tor_cell(
+        CHINA_VANTAGE_POINTS, BRIDGE, "improved-tcb-teardown", CLEAN_ROOM, seed=2
+    )
+    for vantage, bare, helped in zip(
+        CHINA_VANTAGE_POINTS, bare_results, helped_results
+    ):
         if helped.reconnect_ok and not helped.ip_blocked:
             intang_successes += 1
         if bare.ip_blocked:

@@ -8,7 +8,7 @@ could no longer explain (bare VPN suddenly working)."""
 
 from conftest import report
 
-from repro.experiments import CLEAN_ROOM, outside_china_catalog, run_vpn_trial
+from repro.experiments import CLEAN_ROOM, outside_china_catalog, run_vpn_cell
 from repro.experiments.scenarios import build_scenario
 from repro.experiments.tables import render_table
 from repro.experiments.vantage import CHINA_VANTAGE_POINTS
@@ -19,11 +19,12 @@ VPN_SITE = outside_china_catalog()[1]
 
 def vpn_campaign() -> str:
     rows = []
-    for vantage in CHINA_VANTAGE_POINTS[:6]:
-        bare = run_vpn_trial(vantage, VPN_SITE, None, CLEAN_ROOM, seed=2)
-        helped = run_vpn_trial(
-            vantage, VPN_SITE, "improved-tcb-teardown", CLEAN_ROOM, seed=2
-        )
+    vantages = CHINA_VANTAGE_POINTS[:6]
+    bare_results = run_vpn_cell(vantages, VPN_SITE, None, CLEAN_ROOM, seed=2)
+    helped_results = run_vpn_cell(
+        vantages, VPN_SITE, "improved-tcb-teardown", CLEAN_ROOM, seed=2
+    )
+    for vantage, bare, helped in zip(vantages, bare_results, helped_results):
         rows.append([
             vantage.name,
             "RESET during handshake" if bare.reset else "up",

@@ -11,14 +11,25 @@ paper-scale run stays one flag away:
 
 Each bench prints its table (visible with ``-s``) and writes it under
 ``benchmarks/results/`` so EXPERIMENTS.md can cite a recorded artifact.
+
+The session also records per-bench wall-clock time and trial throughput
+(sampled from the parallel engine's trial counter) into
+``benchmarks/results/BENCH_perf.json`` — the artifact the speedup
+acceptance numbers are read from.
 """
 
+import json
 import os
+import platform
 import sys
+import time
+
+import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 
 def full_scale() -> bool:
@@ -52,3 +63,52 @@ def report(name: str, text: str) -> str:
     print()
     print(text)
     return path
+
+
+# -- per-bench perf recording -----------------------------------------------
+
+_PERF_RECORDS = []
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    from repro.experiments.parallel import trials_completed
+
+    trials_before = trials_completed()
+    start = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - start
+    trials = trials_completed() - trials_before
+    _PERF_RECORDS.append(
+        {
+            "bench": item.nodeid,
+            "wall_seconds": round(elapsed, 4),
+            "trials": trials,
+            "trials_per_second": round(trials / elapsed, 2) if elapsed > 0 else None,
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _PERF_RECORDS:
+        return
+    try:
+        from repro.experiments.parallel import configured_workers
+        workers = configured_workers()
+    except Exception:
+        workers = None
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "workers": workers,
+            "repro_full": full_scale(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "benches": _PERF_RECORDS,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_perf.json"), "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Parallel sweep quickstart: one Table-1 row, serial vs. fanned out.
+
+Runs the improved TCB teardown strategy across the in-China vantage
+points and a site catalog twice — once inline (``workers=1``) and once
+over a process pool — times both, and checks the rates are identical.
+Trial seeds are fixed before fan-out, so the worker count can only
+change the wall-clock, never the table.
+
+Run:  python examples/parallel_sweep.py
+      REPRO_SWEEP_SITES=77 python examples/parallel_sweep.py   # bigger
+"""
+
+import os
+import time
+
+from repro.experiments import (
+    CHINA_VANTAGE_POINTS,
+    DEFAULT_CALIBRATION,
+    configured_workers,
+    outside_china_catalog,
+    run_strategy_cell,
+)
+
+STRATEGY = "improved-tcb-teardown"
+
+
+def timed_cell(workers: int):
+    start = time.perf_counter()
+    triple = run_strategy_cell(
+        STRATEGY,
+        CHINA_VANTAGE_POINTS,
+        outside_china_catalog(count=int(os.environ.get("REPRO_SWEEP_SITES", 20))),
+        DEFAULT_CALIBRATION,
+        repeats=2,
+        seed=2017,
+        workers=workers,
+    )
+    return triple, time.perf_counter() - start
+
+
+def main() -> None:
+    pool_size = configured_workers(None) if configured_workers(None) > 1 else (
+        os.cpu_count() or 1
+    )
+    print(f"strategy: {STRATEGY}")
+
+    serial, serial_time = timed_cell(workers=1)
+    s, f1, f2 = serial.as_percentages()
+    print(f"serial   (workers=1): {serial_time:6.2f}s   "
+          f"success={s:.1f}% F1={f1:.1f}% F2={f2:.1f}%")
+
+    fanned, fanned_time = timed_cell(workers=pool_size)
+    s, f1, f2 = fanned.as_percentages()
+    print(f"parallel (workers={pool_size}): {fanned_time:6.2f}s   "
+          f"success={s:.1f}% F1={f1:.1f}% F2={f2:.1f}%")
+
+    assert fanned == serial, "worker count changed the results!"
+    print(f"identical rates; speedup {serial_time / fanned_time:.2f}x "
+          f"on {os.cpu_count()} core(s)")
+
+
+if __name__ == "__main__":
+    main()

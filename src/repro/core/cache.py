@@ -30,19 +30,32 @@ class KeyValueStore:
         self._data: Dict[str, Any] = {}
         self._expiry: Dict[str, float] = {}
         self._expire_callbacks: List[Callable[[str], None]] = []
+        #: Earliest deadline among TTL'd keys; gets hit before any key can
+        #: be stale, so reads skip per-key expiry checks until then.
+        self._next_expiry = float("inf")
 
     # -- basic operations ---------------------------------------------------
     def set(self, key: str, value: Any, ttl: Optional[float] = None) -> None:
         self._data[key] = value
         if ttl is not None:
-            self._expiry[key] = self._time() + ttl
+            deadline = self._time() + ttl
+            self._expiry[key] = deadline
+            if deadline < self._next_expiry:
+                self._next_expiry = deadline
         else:
             self._expiry.pop(key, None)
 
+    def _maybe_sweep(self) -> None:
+        """Lazy expiry: sweep only once the earliest deadline has passed.
+
+        Until then no key can be expired, so the hot read path is a plain
+        dict access with one float comparison — no per-key TTL lookup.
+        """
+        if self._expiry and self._time() >= self._next_expiry:
+            self.sweep()
+
     def get(self, key: str, default: Any = None) -> Any:
-        if self._is_expired(key):
-            self._evict(key)
-            return default
+        self._maybe_sweep()
         return self._data.get(key, default)
 
     def delete(self, key: str) -> bool:
@@ -52,9 +65,7 @@ class KeyValueStore:
         return existed
 
     def exists(self, key: str) -> bool:
-        if self._is_expired(key):
-            self._evict(key)
-            return False
+        self._maybe_sweep()
         return key in self._data
 
     def ttl(self, key: str) -> Optional[float]:
@@ -69,7 +80,10 @@ class KeyValueStore:
     def expire(self, key: str, ttl: float) -> bool:
         if not self.exists(key):
             return False
-        self._expiry[key] = self._time() + ttl
+        deadline = self._time() + ttl
+        self._expiry[key] = deadline
+        if deadline < self._next_expiry:
+            self._next_expiry = deadline
         return True
 
     def keys(self) -> List[str]:
@@ -94,6 +108,8 @@ class KeyValueStore:
         expired = [key for key in self._expiry if self._is_expired(key)]
         for key in expired:
             self._evict(key)
+        # Recompute after callbacks ran — they may have set new TTLs.
+        self._next_expiry = min(self._expiry.values(), default=float("inf"))
         return len(expired)
 
     def _is_expired(self, key: str) -> bool:
@@ -124,7 +140,7 @@ class KeyValueStore:
         payload = json.loads(blob)
         self._data.update(payload.get("data", {}))
         self._expiry.update(payload.get("expiry", {}))
-        self.sweep()
+        self.sweep()  # also refreshes the next-expiry watermark
 
 
 def _json_safe(value: Any) -> bool:

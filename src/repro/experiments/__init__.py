@@ -33,6 +33,11 @@ from repro.experiments.websites import (
     outside_china_catalog,
 )
 from repro.experiments.scenarios import Scenario, build_scenario
+from repro.experiments.parallel import (
+    configured_workers,
+    map_trials,
+    trials_completed,
+)
 from repro.experiments.runner import (
     Outcome,
     PerVantageRates,
@@ -40,12 +45,19 @@ from repro.experiments.runner import (
     TrialRecord,
     diagnose_failure,
     run_cell_by_provider,
+    run_dns_cell,
     run_dns_trial,
+    run_http_outcomes,
     run_http_trial,
+    run_per_vantage,
     run_strategy_cell,
     run_table4_row,
+    run_tor_cell,
     run_tor_trial,
+    run_vpn_cell,
     run_vpn_trial,
+    strategy_salt,
+    trial_seed,
 )
 
 __all__ = [
@@ -65,16 +77,26 @@ __all__ = [
     "outside_china_catalog",
     "Scenario",
     "build_scenario",
+    "configured_workers",
+    "map_trials",
+    "trials_completed",
     "Outcome",
     "PerVantageRates",
     "RateTriple",
     "TrialRecord",
     "diagnose_failure",
     "run_cell_by_provider",
+    "run_dns_cell",
     "run_dns_trial",
+    "run_http_outcomes",
     "run_http_trial",
+    "run_per_vantage",
     "run_strategy_cell",
     "run_table4_row",
+    "run_tor_cell",
     "run_tor_trial",
+    "run_vpn_cell",
     "run_vpn_trial",
+    "strategy_salt",
+    "trial_seed",
 ]

@@ -1,0 +1,144 @@
+"""Parallel trial-execution engine: process-pool fan-out over trials.
+
+Every table in the paper is a vantage × site × repeats sweep (Table 1
+alone is 15 rows × 2 keyword modes × 11 vantages × 77 sites × 50 trials)
+and every trial is seeded and independent — a fresh topology per trial
+means no shared state, which makes the sweep embarrassingly parallel.
+This module supplies the deterministic fan-out:
+
+- :func:`map_trials` — an order-preserving map over picklable work-unit
+  tuples, executed inline when ``workers == 1`` (byte-identical to the
+  historical serial loops) or on a shared :class:`ProcessPoolExecutor`
+  otherwise.  Results come back in task order, so any merge downstream
+  (rate counting, per-vantage grouping) is independent of scheduling.
+- ``REPRO_WORKERS`` — the environment knob every cell runner and bench
+  reads through :func:`configured_workers`; ``0`` (or any non-positive
+  value) means "all cores".
+- a session-wide trial counter that the bench harness samples to report
+  trials/sec into ``BENCH_perf.json``.
+
+Determinism contract: trial seeds are computed *before* fan-out (see
+:func:`repro.experiments.runner.trial_seed`), each work unit derives all
+its randomness from its own seed, and the merge is positional — so for
+fixed seeds the results are identical for any worker count.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "configured_workers",
+    "map_trials",
+    "note_trials",
+    "reset_trial_count",
+    "shutdown_pool",
+    "trials_completed",
+]
+
+#: Target number of chunks handed to each worker; >1 smooths out uneven
+#: per-trial cost (a Tor trial simulates ~12 s, a plain HTTP trial ~5 s).
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+_trials_completed = 0
+
+
+def configured_workers(workers: Optional[int] = None) -> int:
+    """Resolve the effective worker count.
+
+    An explicit ``workers`` argument wins; otherwise ``REPRO_WORKERS`` is
+    consulted (default 1 — the serial path).  Non-positive values mean
+    "one worker per CPU core".
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            return 1
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared process pool (tests, interpreter exit)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor, recreated only when the size changes.
+
+    Reuse amortizes process start-up across the many small cells of a
+    bench run (Table 1 alone calls :func:`map_trials` 30 times).
+    """
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers != workers:
+        shutdown_pool()
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool_workers = workers
+    return _pool
+
+
+atexit.register(shutdown_pool)
+
+
+# -- trial accounting (sampled by benchmarks/conftest.py) -------------------
+def note_trials(count: int = 1) -> None:
+    """Record ``count`` completed trials in this process."""
+    global _trials_completed
+    _trials_completed += count
+
+
+def trials_completed() -> int:
+    """Trials completed in (or accounted to) this process so far."""
+    return _trials_completed
+
+
+def reset_trial_count() -> None:
+    global _trials_completed
+    _trials_completed = 0
+
+
+def map_trials(
+    func: Callable[[Tuple], Any],
+    tasks: Iterable[Tuple],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    trials_per_task: int = 1,
+) -> List[Any]:
+    """Order-preserving (possibly parallel) map over trial work units.
+
+    ``func`` must be a module-level callable and every task tuple must be
+    picklable.  With one worker the map runs inline in this process, which
+    is byte-identical to the pre-engine serial loops; with more, tasks are
+    chunked onto the shared process pool and results are collected back in
+    task order, so the caller's merge never depends on scheduling.
+
+    ``trials_per_task`` tells the parent how many paper-trials one work
+    unit performs, keeping the trials/sec accounting truthful when the
+    actual counting happens inside worker processes.
+    """
+    tasks = list(tasks)
+    effective = configured_workers(workers)
+    if effective <= 1 or len(tasks) <= 1:
+        # Inline path: the trial functions themselves count trials.
+        return [func(task) for task in tasks]
+    if chunksize is None:
+        chunksize = max(1, len(tasks) // (effective * DEFAULT_CHUNKS_PER_WORKER))
+    pool = _get_pool(effective)
+    results = list(pool.map(func, tasks, chunksize=chunksize))
+    # Worker-process counters are invisible here; mirror their work.
+    note_trials(trials_per_task * len(tasks))
+    return results

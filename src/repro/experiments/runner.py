@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import enum
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -29,6 +30,7 @@ from repro.apps.http import HTTPClient
 from repro.apps.tor import TorClient
 from repro.apps.vpn import OpenVPNClient
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.experiments.parallel import map_trials, note_trials
 from repro.experiments.scenarios import HONEST_DNS_ANSWER, Scenario, build_scenario
 from repro.experiments.vantage import VantagePoint
 from repro.experiments.websites import Resolver, Website
@@ -47,6 +49,26 @@ class Outcome(enum.Enum):
     SUCCESS = "success"
     FAILURE1 = "failure1"  # silence: no response, no GFW resets
     FAILURE2 = "failure2"  # GFW resets observed
+
+
+def strategy_salt(strategy_id: str) -> int:
+    """A 16-bit seed salt that is stable across interpreter runs.
+
+    ``hash(strategy_id)`` is randomized per process (PYTHONHASHSEED), so
+    two runs of the same cell would draw different trial seeds — and two
+    strategy ids could silently collide within a run.  CRC-32 is stable
+    and spreads the registry's ids without collisions.
+    """
+    return zlib.crc32(strategy_id.encode("utf-8")) & 0xFFFF
+
+
+def trial_seed(
+    seed: int, v_index: int, w_index: int, repeat: int, strategy_id: str
+) -> int:
+    """The per-trial seed shared by the serial and parallel paths."""
+    return (
+        seed * 1_000_003 + v_index * 10_007 + w_index * 101 + repeat
+    ) ^ strategy_salt(strategy_id)
 
 
 @dataclass
@@ -138,6 +160,7 @@ def run_http_trial(
     selector: Optional[StrategySelector] = None,
 ) -> TrialRecord:
     """One request; ``strategy_id=None`` lets INTANG's selector choose."""
+    note_trials()
     scenario = build_scenario(
         vantage=vantage, website=website, calibration=calibration,
         seed=seed, workload="http",
@@ -215,6 +238,47 @@ class RateTriple:
         return (self.success * 100, self.failure1 * 100, self.failure2 * 100)
 
 
+def _http_outcome_worker(task: Tuple) -> Outcome:
+    """Process-pool work unit: one HTTP trial, reduced to its outcome."""
+    vantage, website, strategy_id, calibration, seed, keyword = task
+    record = run_http_trial(
+        vantage, website, strategy_id, calibration, seed=seed, keyword=keyword,
+    )
+    return record.outcome
+
+
+def run_http_outcomes(
+    tasks: Sequence[Tuple], workers: Optional[int] = None
+) -> List[Outcome]:
+    """Run independent HTTP trials (serial or fanned out) in task order.
+
+    Each task is a ``(vantage, website, strategy_id, calibration, seed,
+    keyword)`` tuple; this is the engine entry point for benches that
+    build their own seed formulas (the ablation sweeps).
+    """
+    return map_trials(_http_outcome_worker, [tuple(t) for t in tasks], workers=workers)
+
+
+def _cell_tasks(
+    strategy_id: str,
+    vantages: Sequence[VantagePoint],
+    websites: Sequence[Website],
+    calibration: Calibration,
+    repeats: int,
+    seed: int,
+    keyword: bool,
+) -> List[Tuple]:
+    return [
+        (
+            vantage, website, strategy_id, calibration,
+            trial_seed(seed, v_index, w_index, repeat, strategy_id), keyword,
+        )
+        for v_index, vantage in enumerate(vantages)
+        for w_index, website in enumerate(websites)
+        for repeat in range(repeats)
+    ]
+
+
 def run_strategy_cell(
     strategy_id: str,
     vantages: Sequence[VantagePoint],
@@ -223,20 +287,19 @@ def run_strategy_cell(
     repeats: int = 1,
     seed: int = 0,
     keyword: bool = True,
+    workers: Optional[int] = None,
 ) -> RateTriple:
-    """One Table 1 cell: a strategy across vantage × site × repeats."""
-    outcomes: List[Outcome] = []
-    for v_index, vantage in enumerate(vantages):
-        for w_index, website in enumerate(websites):
-            for repeat in range(repeats):
-                trial_seed = (
-                    seed * 1_000_003 + v_index * 10_007 + w_index * 101 + repeat
-                ) ^ (hash(strategy_id) & 0xFFFF)
-                record = run_http_trial(
-                    vantage, website, strategy_id, calibration,
-                    seed=trial_seed, keyword=keyword,
-                )
-                outcomes.append(record.outcome)
+    """One Table 1 cell: a strategy across vantage × site × repeats.
+
+    Trials fan out over ``workers`` processes (default: the
+    ``REPRO_WORKERS`` environment knob); the seeds are fixed before
+    fan-out, so the resulting :class:`RateTriple` is identical for any
+    worker count.
+    """
+    tasks = _cell_tasks(
+        strategy_id, vantages, websites, calibration, repeats, seed, keyword
+    )
+    outcomes = map_trials(_http_outcome_worker, tasks, workers=workers)
     return RateTriple.from_outcomes(outcomes)
 
 
@@ -270,6 +333,7 @@ def run_cell_by_provider(
     repeats: int = 1,
     seed: int = 0,
     keyword: bool = True,
+    workers: Optional[int] = None,
 ) -> Dict[str, RateTriple]:
     """One strategy's rates broken down by provider profile.
 
@@ -278,23 +342,74 @@ def run_cell_by_provider(
     per-provider view makes middlebox-driven asymmetries (e.g. Tianjin's
     sanitizers, Aliyun's fragment policy) directly visible.
     """
+    tasks = _cell_tasks(
+        strategy_id, vantages, websites, calibration, repeats, seed, keyword
+    )
+    outcomes = map_trials(_http_outcome_worker, tasks, workers=workers)
     outcomes_by_provider: Dict[str, List[Outcome]] = {}
-    for v_index, vantage in enumerate(vantages):
-        bucket = outcomes_by_provider.setdefault(vantage.provider_profile, [])
-        for w_index, website in enumerate(websites):
-            for repeat in range(repeats):
-                trial_seed = (
-                    seed * 1_000_003 + v_index * 10_007 + w_index * 101 + repeat
-                ) ^ (hash(strategy_id) & 0xFFFF)
-                record = run_http_trial(
-                    vantage, website, strategy_id, calibration,
-                    seed=trial_seed, keyword=keyword,
-                )
-                bucket.append(record.outcome)
+    for task, outcome in zip(tasks, outcomes):
+        vantage = task[0]
+        outcomes_by_provider.setdefault(vantage.provider_profile, []).append(outcome)
     return {
-        provider: RateTriple.from_outcomes(outcomes)
-        for provider, outcomes in outcomes_by_provider.items()
+        provider: RateTriple.from_outcomes(bucket)
+        for provider, bucket in outcomes_by_provider.items()
     }
+
+
+def _vantage_row_worker(task: Tuple) -> RateTriple:
+    """Process-pool work unit: one vantage's full trial sequence.
+
+    A whole vantage is one unit (not one trial) because the adaptive
+    INTANG row threads a persistent selector through its vantage's
+    trials — that sequence is inherently serial, but vantages never share
+    state and so fan out cleanly.
+    """
+    (
+        vantage, v_index, websites, strategy_id,
+        calibration, repeats, seed, adaptive,
+    ) = task
+    selector = make_persistent_selector() if adaptive else None
+    outcomes: List[Outcome] = []
+    for w_index, website in enumerate(websites):
+        for repeat in range(repeats):
+            record = run_http_trial(
+                vantage, website,
+                None if adaptive else strategy_id,
+                calibration,
+                seed=trial_seed(seed, v_index, w_index, repeat,
+                                strategy_id or "intang"),
+                keyword=True,
+                selector=selector,
+            )
+            outcomes.append(record.outcome)
+    return RateTriple.from_outcomes(outcomes)
+
+
+def run_per_vantage(
+    strategy_id: Optional[str],
+    vantages: Sequence[VantagePoint],
+    websites: Sequence[Website],
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    repeats: int = 1,
+    seed: int = 0,
+    adaptive: bool = False,
+    workers: Optional[int] = None,
+) -> PerVantageRates:
+    """Per-vantage rates for one strategy, fanned out a vantage at a time."""
+    websites = tuple(websites)
+    tasks = [
+        (vantage, v_index, websites, strategy_id,
+         calibration, repeats, seed, adaptive)
+        for v_index, vantage in enumerate(vantages)
+    ]
+    triples = map_trials(
+        _vantage_row_worker, tasks, workers=workers,
+        trials_per_task=len(websites) * repeats,
+    )
+    result = PerVantageRates()
+    for vantage, triple in zip(vantages, triples):
+        result.rates[vantage.name] = triple
+    return result
 
 
 def run_table4_row(
@@ -305,27 +420,14 @@ def run_table4_row(
     repeats: int = 1,
     seed: int = 0,
     adaptive: bool = False,
+    workers: Optional[int] = None,
 ) -> PerVantageRates:
     """One Table 4 row; ``adaptive=True`` is the "INTANG Performance" row
     (the selector carries measurement history across repeats)."""
-    result = PerVantageRates()
-    for v_index, vantage in enumerate(vantages):
-        outcomes: List[Outcome] = []
-        selector = make_persistent_selector() if adaptive else None
-        for w_index, website in enumerate(websites):
-            for repeat in range(repeats):
-                trial_seed = (
-                    seed * 1_000_003 + v_index * 10_007 + w_index * 101 + repeat
-                ) ^ (hash(strategy_id or "intang") & 0xFFFF)
-                record = run_http_trial(
-                    vantage, website,
-                    None if adaptive else strategy_id,
-                    calibration, seed=trial_seed, keyword=True,
-                    selector=selector,
-                )
-                outcomes.append(record.outcome)
-        result.rates[vantage.name] = RateTriple.from_outcomes(outcomes)
-    return result
+    return run_per_vantage(
+        strategy_id, vantages, websites, calibration,
+        repeats=repeats, seed=seed, adaptive=adaptive, workers=workers,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -356,6 +458,7 @@ def run_dns_trial(
     Success is the paper's: the honest answer arrives (no poisoning, no
     TCP reset).  Without INTANG the UDP query is poisoned in flight.
     """
+    note_trials()
     # §7.2 measured two *specific* resolver routes: interference was
     # seen only from Tianjin, so the firewall is forced there and
     # forced absent elsewhere rather than drawn from the population.
@@ -395,6 +498,40 @@ def run_dns_trial(
     )
 
 
+def _dns_trial_worker(task: Tuple) -> DNSTrialResult:
+    vantage, resolver, strategy_id, calibration, seed, domain, use_intang = task
+    return run_dns_trial(
+        vantage, resolver, strategy_id, calibration,
+        seed=seed, domain=domain, use_intang=use_intang,
+    )
+
+
+def run_dns_cell(
+    vantage: VantagePoint,
+    resolver: Resolver,
+    queries: int,
+    strategy_id: Optional[str] = "improved-tcb-teardown",
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+    domain: str = "www.dropbox.com",
+    use_intang: bool = True,
+    workers: Optional[int] = None,
+) -> float:
+    """One Table 6 cell: the success rate of ``queries`` resolutions.
+
+    Query ``q`` uses seed ``seed + q``, fixed before fan-out, so the rate
+    is identical for any worker count.
+    """
+    if queries <= 0:
+        return 0.0
+    tasks = [
+        (vantage, resolver, strategy_id, calibration, seed + q, domain, use_intang)
+        for q in range(queries)
+    ]
+    results = map_trials(_dns_trial_worker, tasks, workers=workers)
+    return sum(1 for r in results if r.success) / queries
+
+
 # ---------------------------------------------------------------------------
 # Tor and VPN (§7.3)
 # ---------------------------------------------------------------------------
@@ -418,6 +555,7 @@ def run_tor_trial(
     ``strategy_id=None`` means bare Tor; with a strategy INTANG hides the
     handshake fingerprint from the GFW so no probe ever fires.
     """
+    note_trials()
     scenario = build_scenario(
         vantage=vantage, website=bridge_site, calibration=calibration,
         seed=seed, workload="tor",
@@ -454,6 +592,27 @@ def run_tor_trial(
     )
 
 
+def _tor_trial_worker(task: Tuple) -> TorTrialResult:
+    vantage, bridge_site, strategy_id, calibration, seed = task
+    return run_tor_trial(vantage, bridge_site, strategy_id, calibration, seed=seed)
+
+
+def run_tor_cell(
+    vantages: Sequence[VantagePoint],
+    bridge_site: Website,
+    strategy_id: Optional[str] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> List[TorTrialResult]:
+    """One Tor trial per vantage, in vantage order (§7.3's campaign)."""
+    tasks = [
+        (vantage, bridge_site, strategy_id, calibration, seed)
+        for vantage in vantages
+    ]
+    return map_trials(_tor_trial_worker, tasks, workers=workers)
+
+
 @dataclass
 class VPNTrialResult:
     established: bool
@@ -468,6 +627,7 @@ def run_vpn_trial(
     calibration: Calibration = DEFAULT_CALIBRATION,
     seed: int = 0,
 ) -> VPNTrialResult:
+    note_trials()
     scenario = build_scenario(
         vantage=vantage, website=vpn_site, calibration=calibration,
         seed=seed, workload="vpn",
@@ -490,3 +650,24 @@ def run_vpn_trial(
         frames_ok=session.payload_frames > 0,
         reset=session.reset or scenario.gfw_resets_received() > 0,
     )
+
+
+def _vpn_trial_worker(task: Tuple) -> VPNTrialResult:
+    vantage, vpn_site, strategy_id, calibration, seed = task
+    return run_vpn_trial(vantage, vpn_site, strategy_id, calibration, seed=seed)
+
+
+def run_vpn_cell(
+    vantages: Sequence[VantagePoint],
+    vpn_site: Website,
+    strategy_id: Optional[str] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> List[VPNTrialResult]:
+    """One VPN trial per vantage, in vantage order (§7.3's campaign)."""
+    tasks = [
+        (vantage, vpn_site, strategy_id, calibration, seed)
+        for vantage in vantages
+    ]
+    return map_trials(_vpn_trial_worker, tasks, workers=workers)

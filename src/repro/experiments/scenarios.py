@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace as dataclass_replace
+from functools import lru_cache
 from typing import List, Optional
 
 from repro.netstack.fragment import OverlapPolicy
@@ -171,13 +172,24 @@ def _gfw_configs(
     return configs
 
 
-def _server_profile(website: Optional[Website]):
-    if website is None:
-        return profile_by_name("linux-4.4")
-    profile = profile_by_name(website.server_profile)
-    if website.server_ooo_lastwins:
+@lru_cache(maxsize=64)
+def _profile_variant(name: str, ooo_lastwins: bool):
+    """Memoized stack-profile lookup (profiles are frozen dataclasses).
+
+    A paper-scale sweep builds millions of scenarios against a handful of
+    distinct profile variants; sharing one instance per variant replaces a
+    per-trial linear registry scan + dataclass copy with a dict hit.
+    """
+    profile = profile_by_name(name)
+    if ooo_lastwins:
         profile = dataclass_replace(profile, ooo_overlap=OverlapPolicy.LAST_WINS)
     return profile
+
+
+def _server_profile(website: Optional[Website]):
+    if website is None:
+        return _profile_variant("linux-4.4", False)
+    return _profile_variant(website.server_profile, website.server_ooo_lastwins)
 
 
 def _path_geometry(
@@ -300,7 +312,7 @@ def build_scenario(
 
     # -- endpoint stacks ---------------------------------------------------------
     client_tcp = TCPHost(
-        client, clock, profile=profile_by_name("linux-4.4"),
+        client, clock, profile=_profile_variant("linux-4.4", False),
         rng=random.Random(rng.randrange(2**31)),
     )
     server_tcp = TCPHost(
@@ -356,7 +368,9 @@ def build_scenario(
     return scenario
 
 
+@lru_cache(maxsize=1)
 def _censored_zone() -> dict:
+    """The honest zone, built once: resolvers copy it on construction."""
     from repro.gfw.rules import DEFAULT_POISONED_DOMAINS
 
     return {domain: HONEST_DNS_ANSWER for domain in DEFAULT_POISONED_DOMAINS}

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
 
@@ -101,16 +102,30 @@ def _make_site(
     )
 
 
-def _catalog(
+@lru_cache(maxsize=64)
+def _catalog_cached(
     count: int, seed: int, calibration: Calibration, inside_china: bool
-) -> List[Website]:
+) -> Tuple[Website, ...]:
+    """Memoized catalog generation.
+
+    Catalogs are pure functions of ``(count, seed, calibration)`` and are
+    requested once per cell by every bench and runner; :class:`Website`
+    entries are frozen, so one generation can be shared safely.  Stored as
+    a tuple; the public functions hand out fresh lists.
+    """
     rng = random.Random(seed)
     profiles = _profile_quota(count, calibration, rng)
     ooo_flags = _ooo_quota(count, calibration, rng)
-    return [
+    return tuple(
         _make_site(i, rng, calibration, inside_china, profiles[i], ooo_flags[i])
         for i in range(count)
-    ]
+    )
+
+
+def _catalog(
+    count: int, seed: int, calibration: Calibration, inside_china: bool
+) -> List[Website]:
+    return list(_catalog_cached(count, seed, calibration, inside_china))
 
 
 def outside_china_catalog(

@@ -76,9 +76,14 @@ def int_to_ip(value: int) -> str:
     return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
 
 
-@dataclass
+@dataclass(slots=True)
 class TCPSegment:
-    """A TCP segment with every censorship-relevant knob exposed."""
+    """A TCP segment with every censorship-relevant knob exposed.
+
+    ``slots=True``: packets are the simulator's hottest allocation (every
+    hop traversal copies), and slotted instances are smaller and faster
+    to create than ``__dict__``-backed ones.
+    """
 
     src_port: int
     dst_port: int
@@ -167,7 +172,7 @@ class TCPSegment:
         return text
 
 
-@dataclass
+@dataclass(slots=True)
 class UDPDatagram:
     """A UDP datagram (used by the DNS-over-UDP path the GFW poisons)."""
 
@@ -180,7 +185,7 @@ class UDPDatagram:
         return f"{self.src_port}>{self.dst_port} UDP len={len(self.payload)}"
 
 
-@dataclass
+@dataclass(slots=True)
 class IPPacket:
     """An IPv4 packet wrapping a TCP segment, UDP datagram, or raw bytes.
 
@@ -351,11 +356,15 @@ def in_window(seq: int, window_start: int, window_size: int) -> bool:
 
 # Needed by wire.py for raw fragment payload sizing.
 def transport_length(packet: IPPacket) -> int:
-    """Length in bytes of the serialized transport payload."""
-    from repro.netstack.wire import serialize_tcp, serialize_udp
+    """Length in bytes of the serialized transport payload.
+
+    Computed arithmetically — serializing (and checksumming) the segment
+    just to measure it would dominate the fragmenter's cost.
+    """
+    from repro.netstack.wire import UDP_HEADER_LEN, tcp_wire_length
 
     if isinstance(packet.payload, TCPSegment):
-        return len(serialize_tcp(packet.payload, packet.src, packet.dst))
+        return tcp_wire_length(packet.payload)
     if isinstance(packet.payload, UDPDatagram):
-        return len(serialize_udp(packet.payload, packet.src, packet.dst))
+        return UDP_HEADER_LEN + len(packet.payload.payload)
     return len(packet.payload)

@@ -10,16 +10,26 @@ three places, all of which the paper exploits:
    arbitrary 8-byte boundaries, so the bytes must exist;
 3. Header-length corruption — a TCP data offset below 5 words must survive
    a serialize/parse round trip as an observable anomaly.
+
+Serialization is a hot path (every hop traversal in a paper-scale sweep
+may reserialize), so headers are packed exactly once: the checksum is
+computed arithmetically from the header fields plus the body's word sum
+(ones-complement addition is order-independent) and packed directly into
+place, rather than packing a zero-checksum image and splicing the
+checksum in afterwards.
 """
 
 from __future__ import annotations
 
 import struct
+from functools import lru_cache
 from typing import Optional, Tuple, Union
 
 from repro.netstack.checksum import (
+    fold_carries,
     internet_checksum,
-    pseudo_header,
+    ones_complement_sum,
+    pseudo_header_sum,
 )
 from repro.netstack.options import parse_options, serialize_options
 from repro.netstack.packet import (
@@ -36,6 +46,21 @@ IP_HEADER_LEN = 20
 TCP_MIN_HEADER_LEN = 20
 UDP_HEADER_LEN = 8
 
+_TCP_HEADER = struct.Struct("!HHIIBBHHH")
+_UDP_HEADER = struct.Struct("!HHHH")
+_IP_HEADER = struct.Struct("!BBHHHBBHII")
+_CHECKSUM_FIELD = struct.Struct("!H")
+
+
+@lru_cache(maxsize=4096)
+def _ip_word_sum_raw(address: str) -> int:
+    """``ip_to_int`` with caching.
+
+    Scenario topologies reuse a small set of addresses millions of times
+    across a sweep; caching skips the repeated string parse.
+    """
+    return ip_to_int(address)
+
 
 def serialize_tcp(segment: TCPSegment, src: str, dst: str) -> bytes:
     """Serialize a TCP segment, computing (or overriding) its checksum.
@@ -51,25 +76,41 @@ def serialize_tcp(segment: TCPSegment, src: str, dst: str) -> bytes:
         if segment.data_offset_override is not None
         else data_offset_words
     )
-    header = struct.pack(
-        "!HHIIBBHHH",
-        segment.src_port,
-        segment.dst_port,
-        segment.seq & 0xFFFFFFFF,
-        segment.ack & 0xFFFFFFFF,
-        (emitted_offset & 0xF) << 4,
-        segment.flags & 0x3F,
-        segment.window & 0xFFFF,
-        0,  # checksum placeholder
-        segment.urgent & 0xFFFF,
-    )
-    blob = header + options_blob + segment.payload
+    offset_byte = (emitted_offset & 0xF) << 4
+    flags = segment.flags & 0x3F
+    seq = segment.seq & 0xFFFFFFFF
+    ack = segment.ack & 0xFFFFFFFF
+    window = segment.window & 0xFFFF
+    urgent = segment.urgent & 0xFFFF
     if segment.checksum_override is not None:
         checksum = segment.checksum_override & 0xFFFF
     else:
-        pseudo = pseudo_header(ip_to_int(src), ip_to_int(dst), PROTO_TCP, len(blob))
-        checksum = internet_checksum(pseudo + blob)
-    return blob[:16] + struct.pack("!H", checksum) + blob[18:]
+        body = options_blob + segment.payload
+        total = (
+            segment.src_port + segment.dst_port
+            + (seq >> 16) + (seq & 0xFFFF)
+            + (ack >> 16) + (ack & 0xFFFF)
+            + ((offset_byte << 8) | flags)
+            + window + urgent
+            + pseudo_header_sum(
+                _ip_word_sum_raw(src), _ip_word_sum_raw(dst),
+                PROTO_TCP, TCP_MIN_HEADER_LEN + len(body),
+            )
+            + ones_complement_sum(body)
+        )
+        checksum = (~fold_carries(total)) & 0xFFFF
+    header = _TCP_HEADER.pack(
+        segment.src_port,
+        segment.dst_port,
+        seq,
+        ack,
+        offset_byte,
+        flags,
+        window,
+        checksum,
+        urgent,
+    )
+    return header + options_blob + segment.payload
 
 
 def parse_tcp(blob: bytes) -> TCPSegment:
@@ -91,7 +132,7 @@ def parse_tcp(blob: bytes) -> TCPSegment:
         window,
         checksum,
         urgent,
-    ) = struct.unpack("!HHIIBBHHH", blob[:TCP_MIN_HEADER_LEN])
+    ) = _TCP_HEADER.unpack(blob[:TCP_MIN_HEADER_LEN])
     data_offset = (offset_byte >> 4) & 0xF
     header_len = data_offset * 4
     anomalous_offset: Optional[int] = None
@@ -125,28 +166,33 @@ def tcp_checksum_valid(segment: TCPSegment, src: str, dst: str) -> bool:
         return True
     correct = segment.copy(checksum_override=None)
     wire = serialize_tcp(correct, src, dst)
-    actual = struct.unpack("!H", wire[16:18])[0]
+    actual = _CHECKSUM_FIELD.unpack(wire[16:18])[0]
     return actual == (segment.checksum_override & 0xFFFF)
 
 
 def serialize_udp(datagram: UDPDatagram, src: str, dst: str) -> bytes:
     length = UDP_HEADER_LEN + len(datagram.payload)
-    header = struct.pack(
-        "!HHHH", datagram.src_port, datagram.dst_port, length, 0
-    )
-    blob = header + datagram.payload
     if datagram.checksum_override is not None:
         checksum = datagram.checksum_override & 0xFFFF
     else:
-        pseudo = pseudo_header(ip_to_int(src), ip_to_int(dst), PROTO_UDP, len(blob))
-        checksum = internet_checksum(pseudo + blob) or 0xFFFF
-    return blob[:6] + struct.pack("!H", checksum) + blob[8:]
+        total = (
+            datagram.src_port + datagram.dst_port + length
+            + pseudo_header_sum(
+                _ip_word_sum_raw(src), _ip_word_sum_raw(dst), PROTO_UDP, length,
+            )
+            + ones_complement_sum(datagram.payload)
+        )
+        checksum = ((~fold_carries(total)) & 0xFFFF) or 0xFFFF
+    header = _UDP_HEADER.pack(
+        datagram.src_port, datagram.dst_port, length, checksum
+    )
+    return header + datagram.payload
 
 
 def parse_udp(blob: bytes) -> UDPDatagram:
     if len(blob) < UDP_HEADER_LEN:
         raise ValueError("truncated UDP header")
-    src_port, dst_port, length, checksum = struct.unpack("!HHHH", blob[:8])
+    src_port, dst_port, length, checksum = _UDP_HEADER.unpack(blob[:8])
     return UDPDatagram(
         src_port=src_port,
         dst_port=dst_port,
@@ -169,8 +215,21 @@ def serialize_ip(packet: IPPacket) -> bytes:
         flags_and_offset |= 0x4000
     if packet.more_fragments:
         flags_and_offset |= 0x2000
-    header = struct.pack(
-        "!BBHHHBBHII",
+    version_word = ((4 << 4) | 5) << 8  # version/IHL byte, zero TOS
+    ttl_proto_word = ((packet.ttl & 0xFF) << 8) | packet.protocol
+    src_int = _ip_word_sum_raw(packet.src)
+    dst_int = _ip_word_sum_raw(packet.dst)
+    total = (
+        version_word
+        + (emitted_total & 0xFFFF)
+        + (packet.identification & 0xFFFF)
+        + flags_and_offset
+        + ttl_proto_word
+        + (src_int >> 16) + (src_int & 0xFFFF)
+        + (dst_int >> 16) + (dst_int & 0xFFFF)
+    )
+    checksum = (~fold_carries(total)) & 0xFFFF
+    header = _IP_HEADER.pack(
         (4 << 4) | 5,
         0,
         emitted_total & 0xFFFF,
@@ -178,12 +237,10 @@ def serialize_ip(packet: IPPacket) -> bytes:
         flags_and_offset,
         packet.ttl & 0xFF,
         packet.protocol,
-        0,  # header checksum placeholder
-        ip_to_int(packet.src),
-        ip_to_int(packet.dst),
+        checksum,
+        src_int,
+        dst_int,
     )
-    checksum = internet_checksum(header)
-    header = header[:10] + struct.pack("!H", checksum) + header[12:]
     return header + body
 
 
@@ -194,6 +251,15 @@ def transport_bytes(packet: IPPacket) -> bytes:
     if isinstance(packet.payload, UDPDatagram):
         return serialize_udp(packet.payload, packet.src, packet.dst)
     return bytes(packet.payload)
+
+
+def tcp_wire_length(segment: TCPSegment) -> int:
+    """The serialized length of ``segment`` without serializing it."""
+    return (
+        TCP_MIN_HEADER_LEN
+        + len(serialize_options(segment.options))
+        + len(segment.payload)
+    )
 
 
 def parse_ip(blob: bytes) -> IPPacket:
@@ -216,7 +282,7 @@ def parse_ip(blob: bytes) -> IPPacket:
         _checksum,
         src_int,
         dst_int,
-    ) = struct.unpack("!BBHHHBBHII", blob[:IP_HEADER_LEN])
+    ) = _IP_HEADER.unpack(blob[:IP_HEADER_LEN])
     ihl = (version_ihl & 0xF) * 4
     body = blob[ihl:]
     frag_offset = flags_and_offset & 0x1FFF
