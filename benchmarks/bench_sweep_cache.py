@@ -1,0 +1,75 @@
+"""Table-1-sized sweep wall-clock: cold result cache vs. warm replay.
+
+INTANG avoids re-measuring servers by caching historical results in
+Redis (§6); the harness applies the same idea to whole sweeps via
+``repro.experiments.result_cache``.  This bench runs every Table 1
+strategy row across all 11 vantage points twice at ``workers=1`` — once
+against a cleared cache, once warm — and gates on the acceptance
+criterion that the warm pass costs at most half the cold pass.
+"""
+
+import time
+
+from conftest import bench_repeats, bench_sites, record_metric, report
+
+from repro.experiments import result_cache
+from repro.experiments.calibration import DEFAULT_CALIBRATION
+from repro.experiments.runner import run_strategy_cell
+from repro.experiments.vantage import CHINA_VANTAGE_POINTS
+from repro.experiments.websites import outside_china_catalog
+from repro.strategies.registry import TABLE1_ROWS
+
+
+def _sweep(sites, repeats):
+    return {
+        strategy_id: run_strategy_cell(
+            strategy_id, CHINA_VANTAGE_POINTS, sites, DEFAULT_CALIBRATION,
+            repeats=repeats, seed=7, keyword=True, workers=1,
+        )
+        for _label, strategy_id, _discrepancy in TABLE1_ROWS
+    }
+
+
+def test_table1_sweep_cold_vs_warm_cache():
+    sites = outside_china_catalog(count=bench_sites())
+    repeats = bench_repeats()
+    trials = len(TABLE1_ROWS) * len(CHINA_VANTAGE_POINTS) * len(sites) * repeats
+
+    result_cache.clear()
+    start = time.perf_counter()
+    cold = _sweep(sites, repeats)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = _sweep(sites, repeats)
+    warm_seconds = time.perf_counter() - start
+
+    assert warm == cold, "cached replay changed a Table 1 cell"
+    stats = result_cache.stats()
+    text = "\n".join(
+        [
+            "Table-1-sized sweep, REPRO_WORKERS=1"
+            f" ({trials} trials: {len(TABLE1_ROWS)} strategies x"
+            f" {len(CHINA_VANTAGE_POINTS)} vantages x {len(sites)} sites"
+            f" x {repeats} repeats)",
+            f"  cold cache: {cold_seconds:8.2f} s"
+            f"  ({trials / cold_seconds:8.0f} trials/s)",
+            f"  warm cache: {warm_seconds:8.2f} s"
+            f"  ({trials / warm_seconds:8.0f} trials/s)",
+            f"  warm/cold:  {warm_seconds / cold_seconds:8.3f}",
+            f"  cache: {stats['entries']} entries,"
+            f" {stats['hits']} hits, {stats['misses']} misses",
+        ]
+    )
+    report("sweep_cache", text)
+    record_metric("sweep_trials", trials)
+    record_metric("cold_seconds", round(cold_seconds, 3))
+    record_metric("warm_seconds", round(warm_seconds, 3))
+    record_metric("warm_over_cold", round(warm_seconds / cold_seconds, 4))
+    record_metric("cold_trials_per_second", round(trials / cold_seconds, 1))
+    record_metric("warm_trials_per_second", round(trials / warm_seconds, 1))
+    # Acceptance criterion: warm replay in <= 50% of the cold wall-clock.
+    assert warm_seconds <= 0.5 * cold_seconds, (
+        f"warm sweep took {warm_seconds:.2f}s vs cold {cold_seconds:.2f}s"
+    )
+    result_cache.clear()

@@ -68,25 +68,51 @@ def report(name: str, text: str) -> str:
 # -- per-bench perf recording -----------------------------------------------
 
 _PERF_RECORDS = []
+_CURRENT_METRICS = {}
+
+
+def record_metric(name, value):
+    """Attach a named metric (e.g. a MB/s figure) to the bench that is
+    currently running; it lands in that bench's BENCH_perf.json entry."""
+    _CURRENT_METRICS[name] = value
 
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
     from repro.experiments.parallel import trials_completed
 
+    _CURRENT_METRICS.clear()
     trials_before = trials_completed()
     start = time.perf_counter()
     yield
     elapsed = time.perf_counter() - start
     trials = trials_completed() - trials_before
-    _PERF_RECORDS.append(
-        {
-            "bench": item.nodeid,
-            "wall_seconds": round(elapsed, 4),
-            "trials": trials,
-            "trials_per_second": round(trials / elapsed, 2) if elapsed > 0 else None,
-        }
-    )
+    record = {
+        "bench": item.nodeid,
+        "wall_seconds": round(elapsed, 4),
+        "trials": trials,
+        "trials_per_second": round(trials / elapsed, 2) if elapsed > 0 else None,
+    }
+    if _CURRENT_METRICS:
+        record["metrics"] = dict(_CURRENT_METRICS)
+    _PERF_RECORDS.append(record)
+
+
+def _existing_benches(path):
+    """Previously recorded entries, keyed by bench nodeid.
+
+    Sessions merge instead of overwrite, so running one bench file (the
+    CI perf-smoke runs only bench_dpi) does not wipe the table sweeps'
+    recorded trajectory."""
+    try:
+        with open(path) as handle:
+            return {
+                record["bench"]: record
+                for record in json.load(handle).get("benches", [])
+                if isinstance(record, dict) and "bench" in record
+            }
+    except (OSError, ValueError):
+        return {}
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -97,6 +123,10 @@ def pytest_sessionfinish(session, exitstatus):
         workers = configured_workers()
     except Exception:
         workers = None
+    path = os.path.join(RESULTS_DIR, "BENCH_perf.json")
+    benches = _existing_benches(path)
+    for record in _PERF_RECORDS:
+        benches[record["bench"]] = record
     payload = {
         "meta": {
             "python": platform.python_version(),
@@ -106,9 +136,9 @@ def pytest_sessionfinish(session, exitstatus):
             "repro_full": full_scale(),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         },
-        "benches": _PERF_RECORDS,
+        "benches": sorted(benches.values(), key=lambda record: record["bench"]),
     }
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, "BENCH_perf.json"), "w") as handle:
+    with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

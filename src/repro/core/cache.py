@@ -200,6 +200,19 @@ class LRUCache:
             del self._map[evicted.key]
             self.evictions += 1
 
+    def delete(self, key: str) -> bool:
+        """Drop one entry (used for invalidation by the fronted store)."""
+        node = self._map.pop(key, None)
+        if node is None:
+            return False
+        self._unlink(node)
+        return True
+
+    def clear(self) -> None:
+        self._map.clear()
+        self._head = None
+        self._tail = None
+
     def __contains__(self, key: str) -> bool:
         return key in self._map
 
@@ -233,3 +246,90 @@ class LRUCache:
             self._tail = node.prev
         node.prev = None
         node.next = None
+
+
+_MISS = object()
+
+
+class FrontedStore:
+    """A :class:`KeyValueStore` fronted by a transient :class:`LRUCache`.
+
+    This is §6's composition made explicit: "We also maintain in the
+    main thread a transient Least Recently Used (LRU) cache … to reduce
+    Redis store access latency."  Reads hit the front cache first;
+    writes go through to the store and refresh the front; deletions,
+    TTL expiry, and snapshot loads invalidate the front so it can never
+    serve a value the store has dropped.
+
+    The class mirrors the :class:`KeyValueStore` surface, so anything
+    holding a store (the strategy selector, the historical-result
+    cache) works against either unchanged.
+    """
+
+    def __init__(self, store: KeyValueStore, front_capacity: int = 256) -> None:
+        self.store = store
+        self.front = LRUCache(front_capacity)
+        store.on_expire(self._invalidate)
+
+    def _invalidate(self, key: str) -> None:
+        self.front.delete(key)
+
+    # -- the KeyValueStore surface ----------------------------------------
+    def set(self, key: str, value: Any, ttl: Optional[float] = None) -> None:
+        self.store.set(key, value, ttl=ttl)
+        self.front.put(key, value)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        # Let the store retire due keys (firing our invalidation hook)
+        # before trusting the front cache.
+        self.store._maybe_sweep()
+        value = self.front.get(key, _MISS)
+        if value is not _MISS:
+            return value
+        value = self.store.get(key, _MISS)
+        if value is _MISS:
+            return default
+        self.front.put(key, value)
+        return value
+
+    def delete(self, key: str) -> bool:
+        self.front.delete(key)
+        return self.store.delete(key)
+
+    def exists(self, key: str) -> bool:
+        return self.store.exists(key)
+
+    def ttl(self, key: str) -> Optional[float]:
+        return self.store.ttl(key)
+
+    def expire(self, key: str, ttl: float) -> bool:
+        return self.store.expire(key, ttl)
+
+    def keys(self) -> List[str]:
+        return self.store.keys()
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        return self.store.items()
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def on_expire(self, callback: Callable[[str], None]) -> None:
+        self.store.on_expire(callback)
+
+    def sweep(self) -> int:
+        return self.store.sweep()
+
+    def clear_front(self) -> None:
+        """Drop the transient layer (the durable store is untouched)."""
+        self.front.clear()
+
+    # -- persistence -------------------------------------------------------
+    def dump(self) -> str:
+        return self.store.dump()
+
+    def load(self, blob: str) -> None:
+        self.store.load(blob)
+        # Loaded entries may shadow anything cached; start the transient
+        # layer over (it is transient by definition, §6).
+        self.front.clear()

@@ -24,7 +24,7 @@ from repro.netsim.network import Network
 from repro.netsim.node import Host
 from repro.netsim.simclock import SimClock
 from repro.tcp.stack import TCPHost
-from repro.core.cache import KeyValueStore
+from repro.core.cache import FrontedStore, KeyValueStore
 from repro.core.dns_forwarder import DNSForwarder
 from repro.core.framework import InterceptionFramework
 from repro.core.hops import HopEstimator
@@ -63,7 +63,11 @@ class INTANG:
             self.selector = selector
             self.store = selector.store
         else:
-            self.store = KeyValueStore(time_source=lambda: clock.now)
+            # Fig. 2's caching layer verbatim: the Redis substitute
+            # behind a transient main-thread LRU front.
+            self.store = FrontedStore(
+                KeyValueStore(time_source=lambda: clock.now)
+            )
             self.selector = StrategySelector(
                 self.store, priority=list(priority or DEFAULT_PRIORITY)
             )

@@ -29,6 +29,7 @@ from repro.apps.dns import DNSUdpClient
 from repro.apps.http import HTTPClient
 from repro.apps.tor import TorClient
 from repro.apps.vpn import OpenVPNClient
+from repro.experiments import result_cache
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.experiments.parallel import map_trials, note_trials
 from repro.experiments.scenarios import HONEST_DNS_ANSWER, Scenario, build_scenario
@@ -150,6 +151,34 @@ def make_persistent_selector(priority: Optional[Sequence[str]] = None) -> Strate
 # ---------------------------------------------------------------------------
 # HTTP (Tables 1 and 4)
 # ---------------------------------------------------------------------------
+def _http_record_payload(record: TrialRecord) -> Dict:
+    """A JSON-representable image of a trial record (for the
+    historical-result cache)."""
+    return {
+        "outcome": record.outcome.value,
+        "strategy_id": record.strategy_id,
+        "vantage": record.vantage,
+        "target": record.target,
+        "keyword": record.keyword,
+        "drift": record.drift,
+        "detections": record.detections,
+        "diagnosis": record.diagnosis,
+    }
+
+
+def _http_record_from_payload(payload: Dict) -> TrialRecord:
+    return TrialRecord(
+        outcome=Outcome(payload["outcome"]),
+        strategy_id=payload["strategy_id"],
+        vantage=payload["vantage"],
+        target=payload["target"],
+        keyword=payload["keyword"],
+        drift=payload.get("drift"),
+        detections=payload.get("detections", 0),
+        diagnosis=payload.get("diagnosis"),
+    )
+
+
 def run_http_trial(
     vantage: VantagePoint,
     website: Website,
@@ -159,8 +188,23 @@ def run_http_trial(
     keyword: bool = True,
     selector: Optional[StrategySelector] = None,
 ) -> TrialRecord:
-    """One request; ``strategy_id=None`` lets INTANG's selector choose."""
+    """One request; ``strategy_id=None`` lets INTANG's selector choose.
+
+    When no adaptive selector is threaded through (the trial is then a
+    pure function of its arguments), the historical-result cache may
+    replay a previously recorded outcome instead of re-simulating —
+    INTANG's own trick (§6), applied to the harness.  Disable with
+    ``REPRO_RESULT_CACHE=0``.
+    """
     note_trials()
+    cache_key: Optional[str] = None
+    if selector is None and result_cache.enabled():
+        cache_key = result_cache.trial_key(
+            "http", vantage, website, strategy_id, calibration, seed, keyword
+        )
+        hit = result_cache.lookup(cache_key)
+        if hit is not None and hit.get("record") is not None:
+            return _http_record_from_payload(hit["record"])
     scenario = build_scenario(
         vantage=vantage, website=website, calibration=calibration,
         seed=seed, workload="http",
@@ -197,7 +241,7 @@ def run_http_trial(
     used = intang.last_strategy_for(website.ip) or (strategy_id or "none")
     if selector is not None:
         intang.report_result(website.ip, outcome is Outcome.SUCCESS)
-    return TrialRecord(
+    record = TrialRecord(
         outcome=outcome,
         strategy_id=used,
         vantage=vantage.name,
@@ -207,6 +251,11 @@ def run_http_trial(
         detections=scenario.gfw_detections(),
         diagnosis=diagnose_failure(scenario, outcome),
     )
+    if cache_key is not None:
+        result_cache.record_trial(
+            cache_key, record.outcome.value, _http_record_payload(record)
+        )
+    return record
 
 
 @dataclass
@@ -247,6 +296,13 @@ def _http_outcome_worker(task: Tuple) -> Outcome:
     return record.outcome
 
 
+def _http_task_key(task: Tuple) -> str:
+    vantage, website, strategy_id, calibration, seed, keyword = task
+    return result_cache.trial_key(
+        "http", vantage, website, strategy_id, calibration, seed, keyword
+    )
+
+
 def run_http_outcomes(
     tasks: Sequence[Tuple], workers: Optional[int] = None
 ) -> List[Outcome]:
@@ -255,8 +311,32 @@ def run_http_outcomes(
     Each task is a ``(vantage, website, strategy_id, calibration, seed,
     keyword)`` tuple; this is the engine entry point for benches that
     build their own seed formulas (the ablation sweeps).
+
+    Historical results are consulted here, *before* the process-pool
+    fan-out, so a fully-cached cell costs a few dict lookups and never
+    spawns a worker; outcomes computed by workers are recorded in this
+    (parent) process so the next sweep over the same cell is warm.
     """
-    return map_trials(_http_outcome_worker, [tuple(t) for t in tasks], workers=workers)
+    tasks = [tuple(t) for t in tasks]
+    if not result_cache.enabled():
+        return map_trials(_http_outcome_worker, tasks, workers=workers)
+    keys = [_http_task_key(task) for task in tasks]
+    outcomes: List[Optional[Outcome]] = []
+    for key in keys:
+        hit = result_cache.lookup(key)
+        outcomes.append(Outcome(hit["outcome"]) if hit is not None else None)
+    pending = [index for index, outcome in enumerate(outcomes) if outcome is None]
+    if len(pending) < len(tasks):
+        note_trials(len(tasks) - len(pending))  # replayed, but still trials
+    if pending:
+        fresh = map_trials(
+            _http_outcome_worker, [tasks[index] for index in pending],
+            workers=workers,
+        )
+        for index, outcome in zip(pending, fresh):
+            outcomes[index] = outcome
+            result_cache.record_outcome(keys[index], outcome.value)
+    return outcomes  # type: ignore[return-value]
 
 
 def _cell_tasks(
@@ -299,7 +379,7 @@ def run_strategy_cell(
     tasks = _cell_tasks(
         strategy_id, vantages, websites, calibration, repeats, seed, keyword
     )
-    outcomes = map_trials(_http_outcome_worker, tasks, workers=workers)
+    outcomes = run_http_outcomes(tasks, workers=workers)
     return RateTriple.from_outcomes(outcomes)
 
 
@@ -345,7 +425,7 @@ def run_cell_by_provider(
     tasks = _cell_tasks(
         strategy_id, vantages, websites, calibration, repeats, seed, keyword
     )
-    outcomes = map_trials(_http_outcome_worker, tasks, workers=workers)
+    outcomes = run_http_outcomes(tasks, workers=workers)
     outcomes_by_provider: Dict[str, List[Outcome]] = {}
     for task, outcome in zip(tasks, outcomes):
         vantage = task[0]
@@ -444,6 +524,21 @@ class DNSTrialResult:
         return self.answered and not self.poisoned and self.answer == HONEST_DNS_ANSWER
 
 
+def _dns_task_key(
+    vantage: VantagePoint,
+    resolver: Resolver,
+    strategy_id: Optional[str],
+    calibration: Calibration,
+    seed: int,
+    domain: str,
+    use_intang: bool,
+) -> str:
+    return result_cache.trial_key(
+        "dns", vantage, resolver, strategy_id, calibration, seed,
+        extra=f"{domain}:{'intang' if use_intang else 'bare'}",
+    )
+
+
 def run_dns_trial(
     vantage: VantagePoint,
     resolver: Resolver,
@@ -459,6 +554,19 @@ def run_dns_trial(
     TCP reset).  Without INTANG the UDP query is poisoned in flight.
     """
     note_trials()
+    cache_key: Optional[str] = None
+    if result_cache.enabled():
+        cache_key = _dns_task_key(
+            vantage, resolver, strategy_id, calibration, seed, domain, use_intang
+        )
+        hit = result_cache.lookup(cache_key)
+        if hit is not None and hit.get("record") is not None:
+            payload = hit["record"]
+            return DNSTrialResult(
+                answered=payload["answered"],
+                answer=payload["answer"],
+                poisoned=payload["poisoned"],
+            )
     # §7.2 measured two *specific* resolver routes: interference was
     # seen only from Tianjin, so the firewall is forced there and
     # forced absent elsewhere rather than drawn from the population.
@@ -491,11 +599,22 @@ def run_dns_trial(
     scenario.run()
     answered = bool(answers)
     answer = answers[0] if answers else None
-    return DNSTrialResult(
+    result = DNSTrialResult(
         answered=answered,
         answer=answer,
         poisoned=answered and answer != HONEST_DNS_ANSWER,
     )
+    if cache_key is not None:
+        result_cache.record_trial(
+            cache_key,
+            "success" if result.success else "failure",
+            {
+                "answered": result.answered,
+                "answer": result.answer,
+                "poisoned": result.poisoned,
+            },
+        )
+    return result
 
 
 def _dns_trial_worker(task: Tuple) -> DNSTrialResult:
@@ -528,8 +647,34 @@ def run_dns_cell(
         (vantage, resolver, strategy_id, calibration, seed + q, domain, use_intang)
         for q in range(queries)
     ]
-    results = map_trials(_dns_trial_worker, tasks, workers=workers)
-    return sum(1 for r in results if r.success) / queries
+    if not result_cache.enabled():
+        results = map_trials(_dns_trial_worker, tasks, workers=workers)
+        return sum(1 for r in results if r.success) / queries
+    # Replay recorded resolutions before fanning out (see
+    # run_http_outcomes for the rationale).
+    successes = 0
+    pending: List[Tuple] = []
+    for task in tasks:
+        hit = result_cache.lookup(_dns_task_key(*task))
+        if hit is not None:
+            note_trials()
+            successes += 1 if hit["outcome"] == "success" else 0
+        else:
+            pending.append(task)
+    if pending:
+        fresh = map_trials(_dns_trial_worker, pending, workers=workers)
+        for task, result in zip(pending, fresh):
+            result_cache.record_trial(
+                _dns_task_key(*task),
+                "success" if result.success else "failure",
+                {
+                    "answered": result.answered,
+                    "answer": result.answer,
+                    "poisoned": result.poisoned,
+                },
+            )
+            successes += 1 if result.success else 0
+    return successes / queries
 
 
 # ---------------------------------------------------------------------------

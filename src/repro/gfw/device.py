@@ -41,7 +41,7 @@ from repro.netsim.simclock import SimClock
 from repro.gfw.blacklist import Blacklist
 from repro.gfw.cluster import GFWCluster
 from repro.gfw.dpi import StreamInspector
-from repro.gfw.flow import GFWFlow, GFWFlowState, connection_key
+from repro.gfw.flow import FlowTable, GFWFlow, GFWFlowState, connection_key
 from repro.gfw.models import GFWConfig
 from repro.gfw.resets import ResetInjector
 from repro.gfw.rules import Detection
@@ -66,7 +66,7 @@ class GFWDevice(Tap):
         self.cluster = cluster or GFWCluster(self.rng, config.miss_probability)
         self.injector = ResetInjector(config.reset_type, self.rng, name)
         self.blacklist = Blacklist(config.blacklist_duration)
-        self.flows: Dict[object, GFWFlow] = {}
+        self.flows: FlowTable = FlowTable(config.max_flows)
         self._fragments = FragmentReassembler(policy=config.ip_frag_policy)
         #: IPs blocked wholesale after Tor active probing (§7.3).
         self.blocked_ips: set = set()
@@ -75,6 +75,8 @@ class GFWDevice(Tap):
         self.missed_detections: List[Tuple[float, Detection]] = []
         self.resets_injected = 0
         self.forged_synacks_injected = 0
+        #: Stream bytes handed to DPI inspectors (resource accounting).
+        self.bytes_inspected = 0
         #: Optional components, wired by the scenario builder.
         self.dns_poisoner = None  # type: Optional[object]
         self.active_prober = None  # type: Optional[object]
@@ -110,9 +112,10 @@ class GFWDevice(Tap):
 
     def reset_state(self) -> None:
         """Forget all flows and blacklists (between experiment trials)."""
-        self.flows.clear()
+        self.flows.reset()
         self.blacklist.clear()
         self._fragments = FragmentReassembler(policy=self.config.ip_frag_policy)
+        self.bytes_inspected = 0
         self.cluster.new_trial()
 
     # ------------------------------------------------------------------
@@ -310,6 +313,7 @@ class GFWDevice(Tap):
             from repro.gfw.dpi import StreamInspector
 
             one_shot = StreamInspector(self.config.rules)
+            self.bytes_inspected += len(segment.payload)
             detection = one_shot.feed(segment.payload)
             flow.client_next_seq = seq_add(
                 segment.seq, len(segment.payload)
@@ -319,6 +323,7 @@ class GFWDevice(Tap):
             flow.client_next_seq = flow.buffer.rcv_nxt
             if not delivered:
                 return
+            self.bytes_inspected += len(delivered)
             detection = flow.inspector.feed(delivered)
         if detection is not None and not flow.punished:
             flow.punished = True
@@ -429,3 +434,36 @@ class GFWDevice(Tap):
 
     def tracked_flow_count(self) -> int:
         return len(self.flows)
+
+    def stats(self) -> Dict[str, int]:
+        """A resource-accounting snapshot of this device.
+
+        ``matcher_state_bytes`` sums the per-flow matcher cursors over
+        the live flow table plus the (shared, counted once) compiled
+        automaton — the quantity the streaming redesign bounds, where
+        the rescan engine's cost grew with every buffered stream.
+        """
+        matcher_state_bytes = 0
+        counted_automata: set = set()
+        for flow in self.flows.values():
+            inspector = flow.inspector
+            if inspector is None:
+                continue
+            matcher_state_bytes += inspector.state_bytes
+            automaton_id = id(inspector.automaton)
+            if automaton_id not in counted_automata:
+                counted_automata.add(automaton_id)
+                matcher_state_bytes += inspector.automaton.state_bytes()
+        return {
+            "flows_tracked": len(self.flows),
+            "flows_created": self.flows.flows_created,
+            "flows_evicted": self.flows.flows_evicted,
+            "peak_flows_tracked": self.flows.peak_tracked,
+            "flow_table_capacity": self.flows.capacity,
+            "bytes_inspected": self.bytes_inspected,
+            "matcher_state_bytes": matcher_state_bytes,
+            "detections": len(self.detections),
+            "missed_detections": len(self.missed_detections),
+            "resets_injected": self.resets_injected,
+            "forged_synacks_injected": self.forged_synacks_injected,
+        }

@@ -10,8 +10,9 @@ knowledge of what the endpoints actually accepted.  The evolved model's
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple, ValuesView
 
 from repro.netstack.fragment import OverlapPolicy
 from repro.netstack.packet import seq_add
@@ -111,6 +112,91 @@ def connection_key(src: Tuple[str, int], dst: Tuple[str, int]) -> ConnKey:
     """Direction-agnostic key used for the device's flow table."""
     ends = sorted([src, dst])
     return (ends[0], ends[1])
+
+
+class FlowTable:
+    """The device's bounded TCB store with least-recently-used eviction.
+
+    §2.1 notes that stateful tracking is "costly" for the GFW — a real
+    middlebox cannot keep every flow it has ever seen.  This table
+    bounds the device to ``capacity`` concurrent TCBs and silently
+    evicts the least-recently-*touched* flow to admit a new one, which
+    has an observable censorship consequence: an evicted flow becomes
+    invisible until a new TCB-creating packet (SYN, or SYN/ACK under
+    NB1) appears, exactly as if the connection had never existed.
+
+    A "touch" is any lookup or (re)insertion by the device's packet
+    handler, so recency tracks packet activity, not creation order.
+    The table keeps resource-accounting counters surfaced through
+    :meth:`GFWDevice.stats`.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("flow table capacity must be >= 1")
+        self.capacity = capacity
+        self._flows: "OrderedDict[object, GFWFlow]" = OrderedDict()
+        self.flows_created = 0
+        self.flows_evicted = 0
+        self.peak_tracked = 0
+
+    # -- the dict-shaped API the device and benches use ------------------
+    def get(self, key: object) -> Optional[GFWFlow]:
+        flow = self._flows.get(key)
+        if flow is not None:
+            self._flows.move_to_end(key)
+        return flow
+
+    def __getitem__(self, key: object) -> GFWFlow:
+        flow = self.get(key)
+        if flow is None:
+            raise KeyError(key)
+        return flow
+
+    def __setitem__(self, key: object, flow: GFWFlow) -> None:
+        if key in self._flows:
+            self._flows[key] = flow
+            self._flows.move_to_end(key)
+            return
+        if len(self._flows) >= self.capacity:
+            self._flows.popitem(last=False)
+            self.flows_evicted += 1
+        self._flows[key] = flow
+        self.flows_created += 1
+        if len(self._flows) > self.peak_tracked:
+            self.peak_tracked = len(self._flows)
+
+    def __delitem__(self, key: object) -> None:
+        del self._flows[key]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._flows
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._flows)
+
+    def keys(self):
+        return self._flows.keys()
+
+    def values(self) -> "ValuesView[GFWFlow]":
+        return self._flows.values()
+
+    def items(self):
+        return self._flows.items()
+
+    def clear(self) -> None:
+        """Drop every tracked flow (counters keep accumulating)."""
+        self._flows.clear()
+
+    def reset(self) -> None:
+        """Drop all flows *and* zero the counters (between trials)."""
+        self._flows.clear()
+        self.flows_created = 0
+        self.flows_evicted = 0
+        self.peak_tracked = 0
 
 
 def expected_reset_seqs(flow: GFWFlow) -> Tuple[int, int, int]:

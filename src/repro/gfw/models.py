@@ -72,6 +72,12 @@ class GFWConfig:
     ip_frag_policy: OverlapPolicy = OverlapPolicy.FIRST_WINS
 
     # -- operational ------------------------------------------------------------
+    #: Maximum concurrent TCBs one device tracks; the least recently
+    #: touched flow is evicted to admit a new one (§2.1: stateful
+    #: tracking is costly, so the real device bounds it too).  The
+    #: default comfortably covers every simulated trial — eviction only
+    #: matters for the resource-exhaustion ablations.
+    max_flows: int = 4096
     #: Probability (drawn once per flow, shared across the cluster) that
     #: an overloaded GFW fails to act on a flow; the paper measures a
     #: persistent ~2.8 % no-strategy success rate (§3.4).

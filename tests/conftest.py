@@ -3,4 +3,21 @@
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_result_cache():
+    """Isolate tests from the process-wide historical-result cache.
+
+    Trials are pure functions of their cache key, so replays are
+    normally safe — but tests that monkeypatch simulator internals
+    would otherwise see results recorded under unpatched code.
+    """
+    from repro.experiments import result_cache
+
+    result_cache.clear()
+    yield
+    result_cache.clear()

@@ -134,3 +134,232 @@ class TestRuleSet:
 
     def test_empty_feed_returns_none(self):
         assert _inspector().feed(b"") is None
+
+
+# ---------------------------------------------------------------------------
+# Streaming engine vs. the retired rescan engine (the parity oracle)
+# ---------------------------------------------------------------------------
+class TestStreamingParity:
+    """Property-style checks: for any stream that fits the inspect
+    window, the streaming engine and the full-rescan engine must agree
+    byte-for-byte on the Detection (kind and detail) under arbitrary
+    segmentation."""
+
+    PREFIXES = [
+        b"",
+        b"GET /q=",
+        b"POST /submit?d=",
+        b"HTTP/1.1 200 OK\r\nbody: ",
+        b"HEAD",          # incomplete method prefix
+        b"XYZZY ",        # non-HTTP
+        b"\x00\x10",      # plausible DNS frame length
+        b"\x00\x00",      # zero-length DNS frame (never parses)
+    ]
+    ALPHABET = b"abcdefg /:.-ulersatrfnFALUNXW\r\n"
+
+    @staticmethod
+    def _segment(rng, stream):
+        chunks = []
+        index = 0
+        while index < len(stream):
+            step = rng.randint(1, 97)
+            chunks.append(stream[index : index + step])
+            index += step
+        return chunks
+
+    @staticmethod
+    def _run_both(rules, chunks):
+        from repro.gfw.dpi import RescanInspector
+
+        streaming, rescan = StreamInspector(rules), RescanInspector(rules)
+        for chunk in chunks:
+            streaming.feed(chunk)
+            rescan.feed(chunk)
+        return streaming.detection, rescan.detection
+
+    def test_randomized_segmentations_match_rescan(self):
+        import random
+
+        rng = random.Random(20170901)
+        rules = RuleSet()
+        for trial in range(400):
+            body = bytes(rng.choices(self.ALPHABET, k=rng.randint(0, 2500)))
+            stream = rng.choice(self.PREFIXES) + body
+            got, expected = self._run_both(rules, self._segment(rng, stream))
+            assert (got is None) == (expected is None), (trial, got, expected)
+            if got is not None:
+                assert (got.kind, got.detail) == (expected.kind, expected.detail)
+
+    def test_planted_keywords_every_boundary_split(self):
+        """A keyword split at *every* possible segment boundary — the
+        exhaustive version of the boundary-straddle property."""
+        rules = RuleSet()
+        stream = b"GET /?q=ultrasurf HTTP/1.1\r\n\r\n"
+        for cut in range(1, len(stream)):
+            got, expected = self._run_both(
+                rules, [stream[:cut], stream[cut:]]
+            )
+            assert got is not None and expected is not None, cut
+            assert (got.kind, got.detail) == (expected.kind, expected.detail)
+
+    def test_response_censorship_parity(self):
+        import random
+
+        rng = random.Random(42)
+        rules = RuleSet(censor_http_responses=True)
+        stream = b"HTTP/1.1 200 OK\r\n\r\n<html>falun content</html>"
+        for _ in range(50):
+            got, expected = self._run_both(rules, self._segment(rng, stream))
+            assert got is not None and expected is not None
+            assert (got.kind, got.detail) == (expected.kind, expected.detail)
+            assert got.kind == "http-response-keyword"
+
+    def test_dns_over_tcp_parity(self):
+        import random
+
+        rng = random.Random(9)
+        rules = RuleSet()
+        message = encode_query(0x1234, "www.dropbox.com")
+        stream = len(message).to_bytes(2, "big") + message
+        for _ in range(50):
+            got, expected = self._run_both(rules, self._segment(rng, stream))
+            assert got is not None and expected is not None
+            assert (got.kind, got.detail) == (expected.kind, expected.detail)
+            assert got.kind == "dns-domain"
+
+    def test_reassembled_overlap_stream_parity(self):
+        """Feed both engines the ReceiveBuffer's delivered output for
+        randomly overlapping, out-of-order segment arrivals — the exact
+        byte source the device uses."""
+        import random
+
+        from repro.netstack.fragment import OverlapPolicy
+        from repro.tcp.reassembly import ReceiveBuffer
+
+        rng = random.Random(77)
+        rules = RuleSet()
+        stream = b"GET /?q=ultrasurf HTTP/1.1\r\nHost: parity.example\r\n\r\n"
+        for policy in (OverlapPolicy.FIRST_WINS, OverlapPolicy.LAST_WINS):
+            for _ in range(60):
+                pieces = []
+                index = 0
+                while index < len(stream):
+                    step = rng.randint(1, 11)
+                    overlap = rng.randint(0, min(3, index))
+                    pieces.append(
+                        (index - overlap, stream[index - overlap : index + step])
+                    )
+                    index += step
+                rng.shuffle(pieces)
+                buffer = ReceiveBuffer(0, policy=policy)
+                delivered_chunks = []
+                for seq, payload in pieces:
+                    delivered = buffer.add(seq, payload)
+                    if delivered:
+                        delivered_chunks.append(delivered)
+                got, expected = self._run_both(rules, delivered_chunks)
+                assert (got is None) == (expected is None)
+                if got is not None:
+                    assert (got.kind, got.detail) == (expected.kind, expected.detail)
+
+
+class TestInspectWindowTrim:
+    def test_keyword_straddling_trim_point_detected(self):
+        """Satellite regression: a keyword split exactly at the
+        8192-byte trim point must still be caught.  The retired rescan
+        engine drops it (its buffer trim also destroys the stream
+        prefix that classified the flow as HTTP); the streaming
+        engine's cursors survive the trim by construction."""
+        from repro.gfw.dpi import RescanInspector, _INSPECT_WINDOW
+
+        rules = RuleSet()
+        head = b"GET /?q="
+        filler = b"a" * (_INSPECT_WINDOW - len(head) - len(b"ultra"))
+        stream = head + filler + b"ultrasurf HTTP/1.1\r\n\r\n"
+        # Split exactly at the window boundary: "ultra" ends byte 8192.
+        first, second = stream[:_INSPECT_WINDOW], stream[_INSPECT_WINDOW:]
+        assert first.endswith(b"ultra") and second.startswith(b"surf")
+
+        streaming = StreamInspector(rules)
+        assert streaming.feed(first) is None
+        detection = streaming.feed(second)
+        assert detection is not None and detection.detail == "ultrasurf"
+
+        rescan = RescanInspector(rules)
+        rescan.feed(first)
+        assert rescan.feed(second) is None  # the documented defect
+
+    def test_keyword_beyond_window_detected_by_streaming(self):
+        """Streams longer than the window are still fully inspected by
+        the streaming engine (the rescan engine went blind once its
+        buffer trim chopped off the HTTP request line)."""
+        inspector = _inspector()
+        inspector.feed(b"GET /?q=" + b"b" * 20000)
+        detection = inspector.feed(b"...ultrasurf...")
+        assert detection is not None and detection.detail == "ultrasurf"
+
+    def test_streaming_state_stays_bounded(self):
+        inspector = _inspector()
+        for _ in range(64):
+            inspector.feed(b"c" * 1460)
+        assert inspector.state_bytes < 512
+
+
+# ---------------------------------------------------------------------------
+# The compiled automaton
+# ---------------------------------------------------------------------------
+class TestKeywordAutomaton:
+    def test_compile_is_memoized_per_keyword_tuple(self):
+        from repro.gfw.automaton import compile_keywords
+
+        first = compile_keywords(DEFAULT_KEYWORDS)
+        second = compile_keywords(tuple(DEFAULT_KEYWORDS))
+        assert first is second
+        assert compile_keywords((b"other",)) is not first
+
+    def test_inspectors_share_one_automaton(self):
+        a, b = _inspector(), _inspector()
+        assert a.automaton is b.automaton
+
+    def test_pickle_roundtrip_preserves_matching(self):
+        import pickle
+
+        from repro.gfw.automaton import compile_keywords
+
+        automaton = compile_keywords(DEFAULT_KEYWORDS)
+        clone = pickle.loads(pickle.dumps(automaton))
+        assert clone == automaton
+        found = set(clone.matches_empty)
+        state = clone.advance(0, b"say ultrasurf now", found)
+        assert any(
+            DEFAULT_KEYWORDS[i] == b"ultrasurf" for i in found
+        )
+        assert isinstance(state, int)
+
+    def test_small_and_large_segment_paths_agree(self):
+        """The per-byte path and the vectorized window path must find
+        the same keywords across a size-regime flip-flop."""
+        from repro.gfw.automaton import SMALL_SEGMENT
+
+        chunks = [
+            b"x" * (SMALL_SEGMENT + 40) + b"fal",      # large: carries tail
+            b"un",                                     # small: folds tail back
+            b"y" * (SMALL_SEGMENT + 9) + b"freedom_",  # large again
+            b"tunnel",                                 # small finish
+        ]
+        inspector = StreamInspector(
+            RuleSet(keywords=(b"falun", b"freedom_tunnel"))
+        )
+        inspector.feed(b"GET /?q=")  # classify as HTTP so reporting is live
+        for chunk in chunks[:-1]:
+            inspector.feed(chunk)
+        detection = inspector.feed(chunks[-1])
+        assert detection is not None
+        assert detection.detail == "falun"  # list-order priority
+
+    def test_state_accounting_nonzero(self):
+        from repro.gfw.automaton import compile_keywords
+
+        automaton = compile_keywords(DEFAULT_KEYWORDS)
+        assert automaton.state_count() > 1
+        assert automaton.state_bytes() > 256 * 8
