@@ -142,3 +142,21 @@ def pytest_sessionfinish(session, exitstatus):
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
+    _dump_telemetry_snapshot()
+
+
+def _dump_telemetry_snapshot():
+    """The session's merged metrics registry, next to the perf record.
+
+    Worker deltas were already folded in by ``map_trials``, so this is
+    the same accounting a serial run would produce; CI uploads it as a
+    workflow artifact."""
+    try:
+        from repro.telemetry import get_registry
+        snapshot = get_registry().snapshot()
+    except Exception:
+        return
+    path = os.path.join(RESULTS_DIR, "telemetry_snapshot.json")
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")

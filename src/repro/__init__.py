@@ -20,7 +20,9 @@ simulator:
   DNS forwarder;
 - :mod:`repro.analysis` — the §5.3 ignore-path analysis (Table 3/5);
 - :mod:`repro.experiments` — vantage points, catalogs, and the trial
-  runner that regenerates every table in the paper.
+  runner that regenerates every table in the paper;
+- :mod:`repro.telemetry` — the metrics registry, structured event bus,
+  and per-trial diagnosis traces shared by all of the above.
 
 Quickstart::
 
@@ -45,4 +47,5 @@ __all__ = [
     "core",
     "analysis",
     "experiments",
+    "telemetry",
 ]

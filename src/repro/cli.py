@@ -9,6 +9,8 @@
     python -m repro probe [--model old]     # GFW responsiveness probe
     python -m repro trial --strategy tcb-teardown+tcb-reversal
     python -m repro ladder --figure 3       # Fig. 3/4 packet ladders
+    python -m repro telemetry diagnose --strategy resync-desync
+    python -m repro telemetry metrics --json # registry snapshot of a sweep
 
 Everything prints to stdout; sizes are small by default so each command
 finishes in seconds.
@@ -256,6 +258,77 @@ def _cmd_ladder(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    if args.mode == "diagnose":
+        return _telemetry_diagnose(args)
+    return _telemetry_metrics(args)
+
+
+def _telemetry_diagnose(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        DEFAULT_CALIBRATION,
+        outside_china_catalog,
+        vantage_by_name,
+    )
+    from repro.telemetry import diagnose_trial
+
+    vantage = vantage_by_name(args.vantage)
+    website = outside_china_catalog()[args.site]
+    diagnosis = diagnose_trial(
+        vantage, website, args.strategy, DEFAULT_CALIBRATION,
+        seed=args.seed, keyword=not args.benign,
+    )
+    print(diagnosis.render())
+    return 0
+
+
+def _telemetry_metrics(args: argparse.Namespace) -> int:
+    """Run a small baseline-able sweep and dump the merged registry."""
+    import json
+
+    from repro.experiments import (
+        CHINA_VANTAGE_POINTS,
+        DEFAULT_CALIBRATION,
+        outside_china_catalog,
+        run_strategy_cell,
+    )
+    from repro.telemetry import get_registry
+
+    sites = outside_china_catalog(count=args.sites)
+    run_strategy_cell(
+        args.strategy or "none", CHINA_VANTAGE_POINTS, sites,
+        DEFAULT_CALIBRATION,
+        repeats=args.repeats, seed=args.seed, keyword=True,
+    )
+    registry = get_registry()
+    snapshot = registry.snapshot()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as sink:
+            json.dump(snapshot, sink, indent=2, sort_keys=True)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(registry.format_table())
+    if args.check_baseline:
+        rst = registry.counter_value("gfw.rst_sent")
+        match = registry.counter_value("dpi.match")
+        if rst <= 0 or match <= 0:
+            print(
+                f"telemetry baseline check FAILED: gfw.rst_sent={rst} "
+                f"dpi.match={match} (both must be > 0 for a no-strategy "
+                "keyword sweep)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"telemetry baseline check ok: gfw.rst_sent={rst} "
+            f"dpi.match={match}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -295,6 +368,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ladder", help="Fig. 3/4 packet ladder")
     p.add_argument("--figure", type=int, choices=(3, 4), default=3)
     p.add_argument("--seed", type=int, default=8)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="diagnose one trial or dump a sweep's metrics registry",
+    )
+    p.add_argument("mode", choices=("diagnose", "metrics"))
+    p.add_argument("--strategy", default=None,
+                   help="strategy id (default: none/baseline)")
+    p.add_argument("--vantage", default="aliyun-beijing",
+                   help="[diagnose] vantage point name")
+    p.add_argument("--site", type=int, default=0,
+                   help="[diagnose] catalog index of the target site")
+    p.add_argument("--benign", action="store_true",
+                   help="[diagnose] request the keyword-free URL")
+    p.add_argument("--sites", type=int, default=4,
+                   help="[metrics] catalog size for the sweep")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="[metrics] repeats per vantage x site")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--json", action="store_true",
+                   help="[metrics] print the snapshot as JSON")
+    p.add_argument("--out", default=None,
+                   help="[metrics] also write the JSON snapshot here")
+    p.add_argument("--check-baseline", action="store_true",
+                   help="[metrics] exit nonzero unless the sweep saw "
+                        "dpi.match and gfw.rst_sent")
     return parser
 
 
@@ -310,6 +409,7 @@ _COMMANDS = {
     "probe": _cmd_probe,
     "trial": _cmd_trial,
     "ladder": _cmd_ladder,
+    "telemetry": _cmd_telemetry,
 }
 
 

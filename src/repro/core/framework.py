@@ -29,6 +29,8 @@ from repro.netstack.packet import IPPacket
 from repro.netsim.node import Host
 from repro.netsim.simclock import SimClock
 from repro.core.strategy_base import ConnectionContext, EvasionStrategy, NoStrategy
+from repro.telemetry.events import get_bus
+from repro.telemetry.metrics import get_registry
 
 #: factory(ctx) -> strategy instance for a freshly opened connection.
 StrategyFactory = Callable[[ConnectionContext], EvasionStrategy]
@@ -61,6 +63,10 @@ class InterceptionFramework:
         #: or None to decline.
         self.udp_hooks: List[Callable[[IPPacket, float], Optional[List[IPPacket]]]] = []
         self._attached = False
+        self._bus = get_bus()
+        registry = get_registry()
+        self._metric_intercepted = registry.counter("strategy.packets_intercepted")
+        self._metric_dropped = registry.counter("strategy.packets_dropped")
         self.attach()
 
     # ------------------------------------------------------------------
@@ -116,6 +122,20 @@ class InterceptionFramework:
         ctx.observe_outgoing(packet)
         strategy = self.strategies[key]
         released = strategy.on_outgoing(packet)
+        self._metric_intercepted.inc()
+        dropped = packet not in released
+        if dropped:
+            self._metric_dropped.inc()
+        if self._bus.enabled:
+            verdict = "drop" if dropped else (
+                "accept" if released == [packet] else "rewrite"
+            )
+            self._bus.publish(
+                "strategy", "on_outgoing", time=now,
+                strategy=strategy.strategy_id, verdict=verdict,
+                summary=packet.summary(),
+                released=len(released),
+            )
         return released
 
     def _ingress(self, packet: IPPacket, now: float) -> bool:

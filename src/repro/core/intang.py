@@ -30,6 +30,8 @@ from repro.core.framework import InterceptionFramework
 from repro.core.hops import HopEstimator
 from repro.core.selection import StrategySelector
 from repro.core.strategy_base import ConnectionContext, EvasionStrategy
+from repro.telemetry.events import get_bus
+from repro.telemetry.metrics import get_registry
 
 
 class INTANG:
@@ -101,6 +103,12 @@ class INTANG:
     def _build_strategy(self, ctx: ConnectionContext) -> EvasionStrategy:
         strategy_id = self.fixed_strategy or self.selector.choose(ctx.dst_ip)
         self.active[ctx.key()] = (ctx.dst_ip, strategy_id)
+        get_registry().counter("intang.strategies_built").inc()
+        get_bus().publish(
+            "intang", "strategy_selected", time=self.clock.now,
+            server=ctx.dst_ip, strategy=strategy_id,
+            fixed=self.fixed_strategy is not None,
+        )
         factory = self._make_strategy_factory(strategy_id)
         return factory(ctx)
 
@@ -110,6 +118,14 @@ class INTANG:
         strategy_id = self.last_strategy_for(server_ip)
         if strategy_id is None:
             return
+        registry = get_registry()
+        registry.counter(
+            "intang.results_success" if success else "intang.results_failure"
+        ).inc()
+        get_bus().publish(
+            "intang", "result_reported", time=self.clock.now,
+            server=server_ip, strategy=strategy_id, success=success,
+        )
         self.selector.report(server_ip, strategy_id, success)
         if not success and self.hop_estimator is not None:
             # §7.1: INTANG "can iteratively change [δ] to converge to a

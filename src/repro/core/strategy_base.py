@@ -27,6 +27,8 @@ from repro.netstack.packet import (
     seq_add,
 )
 from repro.netsim.simclock import SimClock
+from repro.telemetry.events import get_bus
+from repro.telemetry.metrics import get_registry
 
 
 class ConnectionContext:
@@ -64,6 +66,10 @@ class ConnectionContext:
         self.last_tsval_sent: Optional[int] = None
         #: Insertion packets this connection emitted (for tests/metrics).
         self.insertions_sent: List[IPPacket] = []
+        self._bus = get_bus()
+        self._metric_insertions = get_registry().counter(
+            "strategy.insertions_sent"
+        )
 
     # -- observation hooks (called by the framework) -----------------------
     def observe_outgoing(self, packet: IPPacket) -> None:
@@ -126,6 +132,10 @@ class ConnectionContext:
         """A sequence number far outside both endpoints' windows."""
         return seq_add(self.snd_nxt, distance)
 
+    def _now(self) -> float:
+        """Sim-time for telemetry; unit tests build contexts clockless."""
+        return self.clock.now if self.clock is not None else 0.0
+
     def send_insertion(self, packet: IPPacket, copies: int = 1) -> None:
         """Emit an insertion packet ``copies`` times via the raw path.
 
@@ -138,7 +148,13 @@ class ConnectionContext:
         for _ in range(max(1, copies)):
             duplicate = packet.copy()
             self.insertions_sent.append(duplicate)
+            self._metric_insertions.inc()
             self.raw_send(duplicate)
+        if self._bus.enabled:
+            self._bus.publish(
+                "strategy", "insertion", time=self._now(), mode="raw",
+                copies=max(1, copies), summary=packet.summary(),
+            )
 
     def queue_insertion(
         self, released: List[IPPacket], packet: IPPacket, copies: int = 1
@@ -152,7 +168,13 @@ class ConnectionContext:
         for _ in range(max(1, copies)):
             duplicate = packet.copy()
             self.insertions_sent.append(duplicate)
+            self._metric_insertions.inc()
             released.append(duplicate)
+        if self._bus.enabled:
+            self._bus.publish(
+                "strategy", "insertion", time=self._now(), mode="queued",
+                copies=max(1, copies), summary=packet.summary(),
+            )
 
     def key(self) -> tuple:
         return (self.src_port, self.dst_ip, self.dst_port)

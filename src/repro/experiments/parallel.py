@@ -30,6 +30,9 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.env import env_int
+from repro.telemetry.metrics import get_registry
+
 __all__ = [
     "configured_workers",
     "map_trials",
@@ -56,13 +59,7 @@ def configured_workers(workers: Optional[int] = None) -> int:
     "one worker per CPU core".
     """
     if workers is None:
-        raw = os.environ.get("REPRO_WORKERS", "").strip()
-        if not raw:
-            return 1
-        try:
-            workers = int(raw)
-        except ValueError:
-            return 1
+        workers = env_int("REPRO_WORKERS", default=1)
     if workers <= 0:
         workers = os.cpu_count() or 1
     return max(1, int(workers))
@@ -111,6 +108,21 @@ def reset_trial_count() -> None:
     _trials_completed = 0
 
 
+def _run_task_with_snapshot(payload: Tuple[Callable, Tuple]) -> Tuple[Any, dict]:
+    """Worker-side wrapper: run one task, return its result plus the
+    metrics-registry delta it produced.
+
+    The delta (not the full snapshot) is what merges cleanly: a worker
+    process is reused for many tasks, so its registry accumulates — the
+    parent must see only what *this* task added or counts double.
+    """
+    func, task = payload
+    registry = get_registry()
+    before = registry.snapshot()
+    result = func(task)
+    return result, registry.diff(before)
+
+
 def map_trials(
     func: Callable[[Tuple], Any],
     tasks: Iterable[Tuple],
@@ -126,6 +138,12 @@ def map_trials(
     chunked onto the shared process pool and results are collected back in
     task order, so the caller's merge never depends on scheduling.
 
+    Each worker task also returns the metrics-registry delta it produced
+    (see :mod:`repro.telemetry.metrics`); the parent merges those deltas
+    into its own registry.  The merge is order-independent — counters and
+    histogram buckets add — so the merged registry equals the one a
+    serial run would have built, for any worker count or schedule.
+
     ``trials_per_task`` tells the parent how many paper-trials one work
     unit performs, keeping the trials/sec accounting truthful when the
     actual counting happens inside worker processes.
@@ -133,12 +151,20 @@ def map_trials(
     tasks = list(tasks)
     effective = configured_workers(workers)
     if effective <= 1 or len(tasks) <= 1:
-        # Inline path: the trial functions themselves count trials.
+        # Inline path: the trial functions themselves count trials and
+        # write the parent registry directly.
         return [func(task) for task in tasks]
     if chunksize is None:
         chunksize = max(1, len(tasks) // (effective * DEFAULT_CHUNKS_PER_WORKER))
     pool = _get_pool(effective)
-    results = list(pool.map(func, tasks, chunksize=chunksize))
+    payloads = [(func, task) for task in tasks]
+    registry = get_registry()
+    results: List[Any] = []
+    for result, delta in pool.map(
+        _run_task_with_snapshot, payloads, chunksize=chunksize
+    ):
+        registry.merge(delta)
+        results.append(result)
     # Worker-process counters are invisible here; mirror their work.
     note_trials(trials_per_task * len(tasks))
     return results

@@ -35,16 +35,17 @@ catalog fields.
 
 from __future__ import annotations
 
-import os
 import zlib
 from typing import Any, Dict, Optional
 
 from repro.core.cache import FrontedStore, KeyValueStore
+from repro.core.env import env_flag
+from repro.telemetry.metrics import get_registry
 
 
 def enabled() -> bool:
     """Whether historical-result reuse is on (``REPRO_RESULT_CACHE``)."""
-    return os.environ.get("REPRO_RESULT_CACHE", "1") != "0"
+    return env_flag("REPRO_RESULT_CACHE", default=True)
 
 
 def _fingerprint(value: Any) -> int:
@@ -89,8 +90,14 @@ def trial_key(
 # constant clock.
 # ---------------------------------------------------------------------------
 _store: Optional[FrontedStore] = None
-_hits = 0
-_misses = 0
+
+
+def _hit_counter():
+    return get_registry().counter("result_cache.hits")
+
+
+def _miss_counter():
+    return get_registry().counter("result_cache.misses")
 
 
 def _get_store() -> FrontedStore:
@@ -103,14 +110,13 @@ def _get_store() -> FrontedStore:
 def lookup(key: str) -> Optional[Dict[str, Any]]:
     """The stored payload for ``key`` — ``{"outcome": str, "record":
     dict-or-None}`` — or None.  Counts a hit/miss either way."""
-    global _hits, _misses
     if not enabled():
         return None
     payload = _get_store().get(key)
     if payload is None:
-        _misses += 1
+        _miss_counter().inc()
         return None
-    _hits += 1
+    _hit_counter().inc()
     return payload
 
 
@@ -132,19 +138,28 @@ def record_trial(key: str, outcome: str, record: Dict[str, Any]) -> None:
 
 
 def clear() -> None:
-    """Explicit invalidation: forget every historical result."""
-    global _store, _hits, _misses
+    """Explicit invalidation: forget every historical result.
+
+    Also zeroes the hit/miss accounting — it describes the store that
+    just ceased to exist."""
+    global _store
     _store = None
-    _hits = 0
-    _misses = 0
+    _hit_counter().reset()
+    _miss_counter().reset()
 
 
 def stats() -> Dict[str, int]:
+    """Compatibility shim: the historical dict shape, now registry-backed.
+
+    ``hits``/``misses`` read the ``result_cache.*`` counters of the
+    process :class:`~repro.telemetry.metrics.MetricsRegistry`, so the
+    numbers also appear in merged telemetry snapshots."""
     store = _store
+    registry = get_registry()
     return {
         "entries": len(store) if store is not None else 0,
-        "hits": _hits,
-        "misses": _misses,
+        "hits": registry.counter_value("result_cache.hits"),
+        "misses": registry.counter_value("result_cache.misses"),
         "front_hits": store.front.hits if store is not None else 0,
         "front_evictions": store.front.evictions if store is not None else 0,
     }

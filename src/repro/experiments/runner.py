@@ -35,6 +35,7 @@ from repro.experiments.parallel import map_trials, note_trials
 from repro.experiments.scenarios import HONEST_DNS_ANSWER, Scenario, build_scenario
 from repro.experiments.vantage import VantagePoint
 from repro.experiments.websites import Resolver, Website
+from repro.telemetry.metrics import get_registry
 
 #: The keyword the paper probes with (§3.3).
 SENSITIVE_PATH = "/?search=ultrasurf"
@@ -179,7 +180,7 @@ def _http_record_from_payload(payload: Dict) -> TrialRecord:
     )
 
 
-def run_http_trial(
+def _simulate_http_trial(
     vantage: VantagePoint,
     website: Website,
     strategy_id: Optional[str],
@@ -187,27 +188,15 @@ def run_http_trial(
     seed: int = 0,
     keyword: bool = True,
     selector: Optional[StrategySelector] = None,
-) -> TrialRecord:
-    """One request; ``strategy_id=None`` lets INTANG's selector choose.
-
-    When no adaptive selector is threaded through (the trial is then a
-    pure function of its arguments), the historical-result cache may
-    replay a previously recorded outcome instead of re-simulating —
-    INTANG's own trick (§6), applied to the harness.  Disable with
-    ``REPRO_RESULT_CACHE=0``.
-    """
-    note_trials()
-    cache_key: Optional[str] = None
-    if selector is None and result_cache.enabled():
-        cache_key = result_cache.trial_key(
-            "http", vantage, website, strategy_id, calibration, seed, keyword
-        )
-        hit = result_cache.lookup(cache_key)
-        if hit is not None and hit.get("record") is not None:
-            return _http_record_from_payload(hit["record"])
+    trace: bool = False,
+) -> Tuple[TrialRecord, Scenario]:
+    """Simulate one HTTP trial from scratch, returning the record *and*
+    the finished scenario (for diagnosis; the cache layer above discards
+    it).  ``trace=True`` turns on the packet trace recorder, whose events
+    also land on the telemetry bus when that is enabled."""
     scenario = build_scenario(
         vantage=vantage, website=website, calibration=calibration,
-        seed=seed, workload="http",
+        seed=seed, workload="http", trace=trace,
     )
     intang = INTANG(
         host=scenario.client,
@@ -250,6 +239,48 @@ def run_http_trial(
         drift=drift,
         detections=scenario.gfw_detections(),
         diagnosis=diagnose_failure(scenario, outcome),
+    )
+    # Outcome accounting lives here — inside the fresh simulation — so a
+    # cache-replayed trial never re-counts and the parallel engine's
+    # merged registry equals the serial run's.
+    registry = get_registry()
+    registry.counter(f"trials.{outcome.value}").inc()
+    registry.histogram("trial.bytes_inspected").observe(
+        sum(device.bytes_inspected for device in scenario.gfw_devices)
+    )
+    return record, scenario
+
+
+def run_http_trial(
+    vantage: VantagePoint,
+    website: Website,
+    strategy_id: Optional[str],
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+    keyword: bool = True,
+    selector: Optional[StrategySelector] = None,
+) -> TrialRecord:
+    """One request; ``strategy_id=None`` lets INTANG's selector choose.
+
+    When no adaptive selector is threaded through (the trial is then a
+    pure function of its arguments), the historical-result cache may
+    replay a previously recorded outcome instead of re-simulating —
+    INTANG's own trick (§6), applied to the harness.  Disable with
+    ``REPRO_RESULT_CACHE=0``.
+    """
+    note_trials()
+    get_registry().counter("trials.run").inc()
+    cache_key: Optional[str] = None
+    if selector is None and result_cache.enabled():
+        cache_key = result_cache.trial_key(
+            "http", vantage, website, strategy_id, calibration, seed, keyword
+        )
+        hit = result_cache.lookup(cache_key)
+        if hit is not None and hit.get("record") is not None:
+            return _http_record_from_payload(hit["record"])
+    record, _scenario = _simulate_http_trial(
+        vantage, website, strategy_id, calibration,
+        seed=seed, keyword=keyword, selector=selector,
     )
     if cache_key is not None:
         result_cache.record_trial(
@@ -554,6 +585,7 @@ def run_dns_trial(
     TCP reset).  Without INTANG the UDP query is poisoned in flight.
     """
     note_trials()
+    get_registry().counter("trials.run").inc()
     cache_key: Optional[str] = None
     if result_cache.enabled():
         cache_key = _dns_task_key(
@@ -701,6 +733,7 @@ def run_tor_trial(
     handshake fingerprint from the GFW so no probe ever fires.
     """
     note_trials()
+    get_registry().counter("trials.run").inc()
     scenario = build_scenario(
         vantage=vantage, website=bridge_site, calibration=calibration,
         seed=seed, workload="tor",
@@ -773,6 +806,7 @@ def run_vpn_trial(
     seed: int = 0,
 ) -> VPNTrialResult:
     note_trials()
+    get_registry().counter("trials.run").inc()
     scenario = build_scenario(
         vantage=vantage, website=vpn_site, calibration=calibration,
         seed=seed, workload="vpn",

@@ -45,6 +45,8 @@ from repro.gfw.flow import FlowTable, GFWFlow, GFWFlowState, connection_key
 from repro.gfw.models import GFWConfig
 from repro.gfw.resets import ResetInjector
 from repro.gfw.rules import Detection
+from repro.telemetry.events import get_bus
+from repro.telemetry.metrics import get_registry
 
 
 class GFWDevice(Tap):
@@ -80,6 +82,21 @@ class GFWDevice(Tap):
         #: Optional components, wired by the scenario builder.
         self.dns_poisoner = None  # type: Optional[object]
         self.active_prober = None  # type: Optional[object]
+        # Telemetry: process-lifetime registry instruments (merged across
+        # the worker pool) and the structured event bus.  The per-device
+        # attributes above stay authoritative for `stats()` because they
+        # are zeroed between trials; the registry accumulates.
+        registry = get_registry()
+        self._bus = get_bus()
+        self._metric_rst_sent = registry.counter("gfw.rst_sent")
+        self._metric_synack_forged = registry.counter("gfw.synack_forged")
+        self._metric_dpi_match = registry.counter("dpi.match")
+        self._metric_dpi_miss = registry.counter("dpi.miss")
+        self._metric_bytes = registry.counter("gfw.bytes_inspected")
+        self._metric_tcb_created = registry.counter("gfw.tcb_created")
+        self._metric_teardown = registry.counter("gfw.tcb_teardown")
+        self._metric_resync_entered = registry.counter("gfw.resync_entered")
+        self._metric_resync_exited = registry.counter("gfw.resync_exited")
         # NB3 behaviour is consistent per installation per period (§4, §8):
         # draw once per cluster and share across co-located devices.
         if not hasattr(self.cluster, "rst_resyncs_established"):
@@ -117,6 +134,37 @@ class GFWDevice(Tap):
         self._fragments = FragmentReassembler(policy=self.config.ip_frag_policy)
         self.bytes_inspected = 0
         self.cluster.new_trial()
+
+    # ------------------------------------------------------------------
+    # Telemetry helpers: every TCB state transition goes through these so
+    # the event stream names the NB1/NB2/NB3 behaviour responsible.
+    # ------------------------------------------------------------------
+    def _enter_resync(self, flow: GFWFlow, cause: str) -> None:
+        already = flow.state is GFWFlowState.RESYNC
+        flow.state = GFWFlowState.RESYNC
+        if already:
+            return
+        self._metric_resync_entered.inc()
+        self._bus.publish(
+            "gfw", "resync_enter", time=self.clock.now,
+            device=self.name, cause=cause,
+        )
+
+    def _exit_resync(self, flow: GFWFlow, seq: int, via: str) -> None:
+        flow.resynchronize_to(seq, self.config.rules, self.config.tcp_ooo_policy)
+        self._metric_resync_exited.inc()
+        self._bus.publish(
+            "gfw", "resync_exit", time=self.clock.now,
+            device=self.name, via=via, adopted_seq=seq & 0xFFFFFFFF,
+        )
+
+    def _teardown(self, key: object, cause: str) -> None:
+        del self.flows[key]
+        self._metric_teardown.inc()
+        self._bus.publish(
+            "gfw", "tcb_teardown", time=self.clock.now,
+            device=self.name, cause=cause,
+        )
 
     # ------------------------------------------------------------------
     # TCP state machine
@@ -166,7 +214,7 @@ class GFWDevice(Tap):
             self._on_rst(flow, key, segment)
             return
         if segment.is_fin and self.config.fin_tears_down:
-            del self.flows[key]
+            self._teardown(key, "fin")
             return
         self._on_data_or_ack(flow, key, from_client, segment, now)
 
@@ -188,6 +236,12 @@ class GFWDevice(Tap):
                 seq_add(segment.seq, 1), self.config.rules, self.config.tcp_ooo_policy
             )
             self.flows[key] = flow
+            self._metric_tcb_created.inc()
+            self._bus.publish(
+                "gfw", "tcb_create", time=now, device=self.name, on="syn",
+                believed_client=f"{src[0]}:{src[1]}",
+                believed_server=f"{dst[0]}:{dst[1]}",
+            )
             return
         if segment.is_synack and self.config.creates_tcb_on_synack:
             # NB1 — and the device assumes the SYN/ACK's *source* is the
@@ -205,6 +259,13 @@ class GFWDevice(Tap):
             )
             flow.note_server_activity(seq_add(segment.seq, 1))
             self.flows[key] = flow
+            self._metric_tcb_created.inc()
+            self._bus.publish(
+                "gfw", "tcb_create", time=now, device=self.name, on="synack",
+                believed_client=f"{dst[0]}:{dst[1]}",
+                believed_server=f"{src[0]}:{src[1]}",
+                note="NB1: SYN/ACK source assumed to be the server",
+            )
         # Any other packet without a TCB is invisible to the censor —
         # the reason TCB-teardown evasion works at all.
 
@@ -218,7 +279,7 @@ class GFWDevice(Tap):
         flow.syn_count += 1
         if flow.syn_count >= 2 and self.config.supports_resync:
             # NB2(a): multiple client-side SYNs -> RESYNC.
-            flow.state = GFWFlowState.RESYNC
+            self._enter_resync(flow, "multiple client SYNs (NB2a)")
         # The old model keeps the TCB of the first SYN and ignores later
         # ones (prior assumption 2) — nothing else to do.
 
@@ -236,20 +297,18 @@ class GFWDevice(Tap):
             return
         if flow.state is GFWFlowState.RESYNC:
             # NB2: the next server->client SYN/ACK resynchronizes.
-            flow.resynchronize_to(
-                segment.ack, self.config.rules, self.config.tcp_ooo_policy
-            )
+            self._exit_resync(flow, segment.ack, "server SYN/ACK")
             return
         if flow.synack_count >= 2:
             # NB2(b): multiple SYN/ACKs from the server side.
-            flow.state = GFWFlowState.RESYNC
+            self._enter_resync(flow, "multiple server SYN/ACKs (NB2b)")
         elif segment.ack != flow.client_next_seq:
             # NB2(c): SYN/ACK acknowledging an unexpected number.
-            flow.state = GFWFlowState.RESYNC
+            self._enter_resync(flow, "SYN/ACK acking unexpected seq (NB2c)")
 
     def _on_rst(self, flow: GFWFlow, key: object, segment: TCPSegment) -> None:
         if not self.config.supports_resync:
-            del self.flows[key]  # prior assumption 3: RST tears down
+            self._teardown(key, "rst")  # prior assumption 3: RST tears down
             return
         resyncs = (
             self.cluster.rst_resyncs_handshake
@@ -257,9 +316,9 @@ class GFWDevice(Tap):
             else self.cluster.rst_resyncs_established
         )
         if resyncs:
-            flow.state = GFWFlowState.RESYNC  # NB3
+            self._enter_resync(flow, "RST during tracking (NB3)")
         else:
-            del self.flows[key]
+            self._teardown(key, "rst")
 
     def _on_data_or_ack(
         self,
@@ -296,9 +355,7 @@ class GFWDevice(Tap):
             # NB2: adopt this packet's sequence number.  This is the hook
             # the desynchronization building block (§5.1) abuses with an
             # out-of-window junk packet.
-            flow.resynchronize_to(
-                segment.seq, self.config.rules, self.config.tcp_ooo_policy
-            )
+            self._exit_resync(flow, segment.seq, "client data")
         else:
             offset = seq_sub(segment.seq, flow.client_next_seq)
             if not -flow.seq_window < offset < flow.seq_window:
@@ -314,6 +371,7 @@ class GFWDevice(Tap):
 
             one_shot = StreamInspector(self.config.rules)
             self.bytes_inspected += len(segment.payload)
+            self._metric_bytes.inc(len(segment.payload))
             detection = one_shot.feed(segment.payload)
             flow.client_next_seq = seq_add(
                 segment.seq, len(segment.payload)
@@ -324,6 +382,7 @@ class GFWDevice(Tap):
             if not delivered:
                 return
             self.bytes_inspected += len(delivered)
+            self._metric_bytes.inc(len(delivered))
             detection = flow.inspector.feed(delivered)
         if detection is not None and not flow.punished:
             flow.punished = True
@@ -337,8 +396,19 @@ class GFWDevice(Tap):
     ) -> None:
         if self.cluster.flow_missed(flow.endpoints_key()):
             self.missed_detections.append((now, detection))
+            self._metric_dpi_miss.inc()
+            self._bus.publish(
+                "gfw", "dpi_miss", time=now, device=self.name,
+                rule=detection.kind, detail=detection.detail,
+                note="cluster overload draw: flow escapes tracking",
+            )
             return
         self.detections.append((now, detection))
+        self._metric_dpi_match.inc()
+        self._bus.publish(
+            "gfw", "dpi_match", time=now, device=self.name,
+            rule=detection.kind, detail=detection.detail,
+        )
         if detection.kind == "tor" and self.active_prober is not None:
             self.active_prober.schedule_probe(
                 self, flow.believed_server[0], flow.believed_server[1], now
@@ -348,6 +418,10 @@ class GFWDevice(Tap):
         if self.config.reset_type == 2:
             self.blacklist.add(
                 flow.believed_client[0], flow.believed_server[0], now
+            )
+            self._bus.publish(
+                "gfw", "blacklist_add", time=now, device=self.name,
+                client=flow.believed_client[0], server=flow.believed_server[0],
             )
 
     def _punish(self, flow: GFWFlow, now: float) -> None:
@@ -367,6 +441,12 @@ class GFWDevice(Tap):
         for packet in toward_client + toward_server:
             self._inject(packet)
             self.resets_injected += 1
+            self._metric_rst_sent.inc()
+        self._bus.publish(
+            "gfw", "rst_sent", time=now, device=self.name,
+            count=len(toward_client) + len(toward_server),
+            reset_type=self.config.reset_type,
+        )
 
     def _enforce_blacklist(
         self, packet: IPPacket, segment: TCPSegment, now: float
@@ -381,20 +461,34 @@ class GFWDevice(Tap):
             )
             self._inject(forged)
             self.forged_synacks_injected += 1
+            self._metric_synack_forged.inc()
+            self._bus.publish(
+                "gfw", "synack_forged", time=now, device=self.name,
+                toward=f"{src[0]}:{src[1]}",
+            )
             return
         if segment.is_rst:
             return  # nothing to disrupt
         seq_base = segment.ack if segment.has_ack else 0
+        injected = 0
         for forged in self.injector.forged_resets(
             spoof_src=dst, toward=src, seq_base=seq_base, ack_hint=segment.end_seq
         ):
             self._inject(forged)
             self.resets_injected += 1
+            self._metric_rst_sent.inc()
+            injected += 1
         for forged in self.injector.forged_resets(
             spoof_src=src, toward=dst, seq_base=segment.end_seq, ack_hint=seq_base
         ):
             self._inject(forged)
             self.resets_injected += 1
+            self._metric_rst_sent.inc()
+            injected += 1
+        self._bus.publish(
+            "gfw", "rst_sent", time=now, device=self.name,
+            count=injected, note="blacklist enforcement",
+        )
 
     def _enforce_ip_block(self, packet: IPPacket, now: float) -> None:
         """Whole-IP blocking after a confirmed Tor probe (§7.3)."""
@@ -406,11 +500,18 @@ class GFWDevice(Tap):
         src = (packet.src, segment.src_port)
         dst = (packet.dst, segment.dst_port)
         seq_base = segment.ack if segment.has_ack else 0
+        injected = 0
         for forged in self.injector.forged_resets(
             spoof_src=dst, toward=src, seq_base=seq_base, ack_hint=segment.end_seq
         ):
             self._inject(forged)
             self.resets_injected += 1
+            self._metric_rst_sent.inc()
+            injected += 1
+        self._bus.publish(
+            "gfw", "rst_sent", time=now, device=self.name,
+            count=injected, note="ip block",
+        )
 
     def block_ip(self, ip: str) -> None:
         self.blocked_ips.add(ip)
@@ -442,6 +543,12 @@ class GFWDevice(Tap):
         the live flow table plus the (shared, counted once) compiled
         automaton — the quantity the streaming redesign bounds, where
         the rescan engine's cost grew with every buffered stream.
+
+        Compatibility shim: the dict shape is frozen for existing tests
+        and benches.  These per-device counters are zeroed by
+        :meth:`reset_state` between trials; for process-lifetime,
+        worker-mergeable accounting use the same quantities in the
+        :class:`repro.telemetry.MetricsRegistry` (``gfw.*``, ``dpi.*``).
         """
         matcher_state_bytes = 0
         counted_automata: set = set()

@@ -19,6 +19,7 @@ from repro.netstack.packet import seq_add
 from repro.gfw.dpi import StreamInspector
 from repro.gfw.rules import RuleSet
 from repro.tcp.reassembly import ReceiveBuffer
+from repro.telemetry.metrics import get_registry
 
 ConnKey = Tuple[Tuple[str, int], Tuple[str, int]]
 
@@ -127,8 +128,11 @@ class FlowTable:
 
     A "touch" is any lookup or (re)insertion by the device's packet
     handler, so recency tracks packet activity, not creation order.
-    The table keeps resource-accounting counters surfaced through
-    :meth:`GFWDevice.stats`.
+    The table keeps per-table resource-accounting counters surfaced
+    through :meth:`GFWDevice.stats` (zeroed between trials) and mirrors
+    every create/evict into the process metrics registry
+    (``gfw.flows_created`` / ``gfw.flows_evicted``, process-lifetime,
+    merged across the worker pool).
     """
 
     def __init__(self, capacity: int) -> None:
@@ -139,6 +143,9 @@ class FlowTable:
         self.flows_created = 0
         self.flows_evicted = 0
         self.peak_tracked = 0
+        registry = get_registry()
+        self._metric_created = registry.counter("gfw.flows_created")
+        self._metric_evicted = registry.counter("gfw.flows_evicted")
 
     # -- the dict-shaped API the device and benches use ------------------
     def get(self, key: object) -> Optional[GFWFlow]:
@@ -161,8 +168,10 @@ class FlowTable:
         if len(self._flows) >= self.capacity:
             self._flows.popitem(last=False)
             self.flows_evicted += 1
+            self._metric_evicted.inc()
         self._flows[key] = flow
         self.flows_created += 1
+        self._metric_created.inc()
         if len(self._flows) > self.peak_tracked:
             self.peak_tracked = len(self._flows)
 

@@ -5,6 +5,11 @@ Traces serve two purposes in this reproduction:
 1. debugging and tests — assertions about who saw which packet when;
 2. regenerating the paper's sequence diagrams (Fig. 3 and Fig. 4) as
    textual packet ladders via :func:`format_ladder`.
+
+Every recorded event is also published on the process telemetry bus
+(:mod:`repro.telemetry.events`, component ``netsim``) when that bus is
+enabled, so per-trial diagnosis can interleave packet observations with
+GFW state transitions on one sequenced timeline.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.netstack.packet import IPPacket
+from repro.telemetry.events import get_bus
 
 
 @dataclass
@@ -25,6 +31,10 @@ class TraceEvent:
     summary: str
     direction: Optional[str] = None
     note: str = ""
+    #: Monotonic per-recorder sequence number.  Sim-times collide all the
+    #: time (a tap observes and forwards in the same instant), so the
+    #: ladder sorts on ``(time, seq)`` to stay deterministic.
+    seq: int = 0
 
     def format(self) -> str:
         head = f"{self.time * 1000.0:9.3f}ms  {self.location:<18} {self.action:<8}"
@@ -40,6 +50,7 @@ class TraceRecorder:
     enabled: bool = True
     #: Optional filter; return False to skip recording an event.
     predicate: Optional[Callable[[TraceEvent], bool]] = None
+    _next_seq: int = 0
 
     def record(
         self,
@@ -60,10 +71,16 @@ class TraceRecorder:
             summary=summary,
             direction=direction,
             note=note,
+            seq=self._next_seq,
         )
         if self.predicate is not None and not self.predicate(event):
             return
+        self._next_seq += 1
         self.events.append(event)
+        get_bus().publish(
+            "netsim", action, time=time,
+            location=location, summary=summary, direction=direction, note=note,
+        )
 
     def clear(self) -> None:
         self.events.clear()
@@ -78,8 +95,18 @@ class TraceRecorder:
         return list(selected)
 
     def format_ladder(self) -> str:
-        """Render the trace as a time-ordered packet ladder."""
-        lines = [event.format() for event in sorted(self.events, key=lambda e: e.time)]
+        """Render the trace as a time-ordered packet ladder.
+
+        Ties on sim-time are broken by the recording sequence number —
+        sorting on time alone made ladders nondeterministic whenever two
+        events shared an instant (``sorted`` is stable, but events are
+        not guaranteed to arrive pre-sorted once taps inject at earlier
+        timestamps than the packets they trail).
+        """
+        lines = [
+            event.format()
+            for event in sorted(self.events, key=lambda e: (e.time, e.seq))
+        ]
         return "\n".join(lines)
 
     def __len__(self) -> int:

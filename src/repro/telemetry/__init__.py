@@ -1,0 +1,64 @@
+"""Unified telemetry: metrics registry, event bus, per-trial diagnosis.
+
+Three layers, one import surface:
+
+- :mod:`repro.telemetry.metrics` — the process-local
+  :class:`~repro.telemetry.metrics.MetricsRegistry` of counters, gauges,
+  and fixed-bucket histograms, with picklable snapshots the parallel
+  trial engine merges across worker processes (order-independently);
+- :mod:`repro.telemetry.events` — the bounded, sequenced
+  :class:`~repro.telemetry.events.EventBus` that the trace recorder, the
+  GFW device, strategies, and INTANG publish structured
+  :class:`~repro.telemetry.events.TelemetryEvent` records into
+  (``REPRO_TELEMETRY`` knob);
+- :mod:`repro.telemetry.diagnose` — ``diagnose_trial()``, which re-runs
+  one experiment cell with full telemetry and renders a merged
+  packet-ladder + GFW-state timeline explaining the Outcome
+  (``repro telemetry diagnose`` on the command line).
+
+The diagnosis layer pulls in the experiment harness, so it is exposed
+lazily — ``from repro.telemetry import diagnose_trial`` works without
+making ``import repro.telemetry`` heavy.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.telemetry.events import (
+    EventBus,
+    TelemetryEvent,
+    capturing,
+    enable_bus,
+    get_bus,
+    reset_bus,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "reset_registry",
+    "EventBus",
+    "TelemetryEvent",
+    "capturing",
+    "enable_bus",
+    "get_bus",
+    "reset_bus",
+    "TrialDiagnosis",
+    "diagnose_trial",
+]
+
+
+def __getattr__(name):
+    if name in ("diagnose_trial", "TrialDiagnosis"):
+        from repro.telemetry import diagnose
+
+        return getattr(diagnose, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -21,3 +21,14 @@ def _fresh_result_cache():
     result_cache.clear()
     yield
     result_cache.clear()
+
+
+@pytest.fixture(autouse=True)
+def _quiet_event_bus():
+    """Leave the telemetry bus the way each test found it: disabled
+    (unless the environment says otherwise) and empty."""
+    from repro.telemetry import events
+
+    events.reset_bus()
+    yield
+    events.reset_bus()

@@ -1,0 +1,103 @@
+"""The shared ``REPRO_*`` environment-knob parser (repro.core.env)."""
+
+import pytest
+
+from repro.core.env import EnvKnobError, env_flag, env_int
+
+
+class TestEnvFlag:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_FLAG", raising=False)
+        assert env_flag("REPRO_TEST_FLAG", default=True) is True
+        assert env_flag("REPRO_TEST_FLAG", default=False) is False
+
+    def test_empty_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAG", "   ")
+        assert env_flag("REPRO_TEST_FLAG", default=True) is True
+
+    @pytest.mark.parametrize("raw", ["1", "true", "TRUE", "Yes", "on", " ON "])
+    def test_truthy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+        assert env_flag("REPRO_TEST_FLAG", default=False) is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "No", "OFF", " off "])
+    def test_falsy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+        assert env_flag("REPRO_TEST_FLAG", default=True) is False
+
+    @pytest.mark.parametrize("raw", ["2", "yep", "enabled", "tru"])
+    def test_garbage_raises_naming_the_variable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TEST_FLAG", raw)
+        with pytest.raises(EnvKnobError, match="REPRO_TEST_FLAG"):
+            env_flag("REPRO_TEST_FLAG")
+
+    def test_knob_error_is_a_value_error(self):
+        assert issubclass(EnvKnobError, ValueError)
+
+
+class TestEnvInt:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_INT", raising=False)
+        assert env_int("REPRO_TEST_INT", default=3) == 3
+
+    def test_parses_integers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", " 42 ")
+        assert env_int("REPRO_TEST_INT", default=0) == 42
+        monkeypatch.setenv("REPRO_TEST_INT", "-1")
+        assert env_int("REPRO_TEST_INT", default=0) == -1
+
+    def test_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "four")
+        with pytest.raises(EnvKnobError, match="REPRO_TEST_INT"):
+            env_int("REPRO_TEST_INT", default=0)
+
+    def test_minimum_enforced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "1")
+        assert env_int("REPRO_TEST_INT", default=0, minimum=1) == 1
+        monkeypatch.setenv("REPRO_TEST_INT", "0")
+        with pytest.raises(EnvKnobError, match="minimum"):
+            env_int("REPRO_TEST_INT", default=0, minimum=1)
+
+
+class TestKnobRouting:
+    """The real knobs go through this parser, so typos fail loudly."""
+
+    def test_result_cache_routes_through_env_flag(self, monkeypatch):
+        from repro.experiments import result_cache
+
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "0")
+        assert result_cache.enabled() is False
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "yes")
+        assert result_cache.enabled() is True
+        monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+        assert result_cache.enabled() is True  # default on
+        monkeypatch.setenv("REPRO_RESULT_CACHE", "maybe")
+        with pytest.raises(EnvKnobError, match="REPRO_RESULT_CACHE"):
+            result_cache.enabled()
+
+    def test_workers_routes_through_env_int(self, monkeypatch):
+        from repro.experiments.parallel import configured_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert configured_workers() == 3
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert configured_workers() == 1  # default serial
+        assert configured_workers(2) == 2  # explicit argument wins
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert configured_workers() >= 1  # non-positive -> all cores
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(EnvKnobError, match="REPRO_WORKERS"):
+            configured_workers()
+
+    def test_telemetry_knob_controls_bus(self, monkeypatch):
+        from repro.telemetry import events
+
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        events.reset_bus()
+        assert events.get_bus().enabled is True
+        monkeypatch.setenv("REPRO_TELEMETRY", "off")
+        events.reset_bus()
+        assert events.get_bus().enabled is False
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        events.reset_bus()
+        assert events.get_bus().enabled is False  # default off
