@@ -9,6 +9,8 @@
     python -m repro probe [--model old]     # GFW responsiveness probe
     python -m repro trial --strategy tcb-teardown+tcb-reversal
     python -m repro ladder --figure 3       # Fig. 3/4 packet ladders
+    python -m repro perf profile --strategy tcb-teardown-rst/ttl \
+        --out profile.pstats                # cProfile one cell
     python -m repro telemetry diagnose --strategy resync-desync
     python -m repro telemetry metrics --json # registry snapshot of a sweep
 
@@ -258,6 +260,52 @@ def _cmd_ladder(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    if args.mode == "profile":
+        return _perf_profile(args)
+    raise AssertionError(f"unknown perf mode {args.mode!r}")
+
+
+def _perf_profile(args: argparse.Namespace) -> int:
+    """cProfile one experiment cell and print the hottest functions.
+
+    The cell selectors mirror ``telemetry diagnose`` so a slow trial can
+    be profiled with the same flags that diagnosed it.
+    """
+    import cProfile
+    import pstats
+
+    from repro.experiments import (
+        DEFAULT_CALIBRATION,
+        outside_china_catalog,
+        vantage_by_name,
+    )
+    from repro.experiments.runner import _simulate_http_trial
+
+    vantage = vantage_by_name(args.vantage)
+    website = outside_china_catalog()[args.site]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for repeat in range(args.repeats):
+        _simulate_http_trial(
+            vantage, website, args.strategy, DEFAULT_CALIBRATION,
+            seed=args.seed + repeat, keyword=not args.benign,
+        )
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(
+        f"cell: vantage={vantage.name} site={website.name} "
+        f"strategy={args.strategy or 'none'} "
+        f"{'benign' if args.benign else 'keyword'} "
+        f"seeds={args.seed}..{args.seed + args.repeats - 1}"
+    )
+    stats.sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     if args.mode == "diagnose":
         return _telemetry_diagnose(args)
@@ -370,6 +418,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=8)
 
     p = sub.add_parser(
+        "perf",
+        help="profile one experiment cell (cProfile) for hot-path work",
+    )
+    p.add_argument("mode", choices=("profile",))
+    p.add_argument("--strategy", default=None,
+                   help="strategy id (default: none/baseline)")
+    p.add_argument("--vantage", default="aliyun-beijing",
+                   help="vantage point name")
+    p.add_argument("--site", type=int, default=0,
+                   help="catalog index of the target site")
+    p.add_argument("--benign", action="store_true",
+                   help="request the keyword-free URL")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--repeats", type=int, default=50,
+                   help="trials to profile (consecutive seeds)")
+    p.add_argument("--top", type=int, default=25,
+                   help="rows of the cumulative-time table to print")
+    p.add_argument("--out", default=None,
+                   help="also dump raw pstats here (e.g. profile.pstats)")
+
+    p = sub.add_parser(
         "telemetry",
         help="diagnose one trial or dump a sweep's metrics registry",
     )
@@ -409,6 +478,7 @@ _COMMANDS = {
     "probe": _cmd_probe,
     "trial": _cmd_trial,
     "ladder": _cmd_ladder,
+    "perf": _cmd_perf,
     "telemetry": _cmd_telemetry,
 }
 

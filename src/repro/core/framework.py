@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.netstack.packet import IPPacket
+from repro.netstack.packet import IPPacket, TCPSegment
 from repro.netsim.node import Host
 from repro.netsim.simclock import SimClock
 from repro.core.strategy_base import ConnectionContext, EvasionStrategy, NoStrategy
@@ -93,15 +93,14 @@ class InterceptionFramework:
 
     # ------------------------------------------------------------------
     def _egress(self, packet: IPPacket, now: float) -> List[IPPacket]:
-        if packet.is_udp:
-            for hook in self.udp_hooks:
-                result = hook(packet, now)
-                if result is not None:
-                    return result
+        segment = packet.payload
+        if segment.__class__ is not TCPSegment:
+            if packet.is_udp:
+                for hook in self.udp_hooks:
+                    result = hook(packet, now)
+                    if result is not None:
+                        return result
             return [packet]
-        if not packet.is_tcp:
-            return [packet]
-        segment = packet.tcp
         key: ConnKey = (segment.src_port, packet.dst, segment.dst_port)
         ctx = self.contexts.get(key)
         if ctx is None:
@@ -139,9 +138,11 @@ class InterceptionFramework:
         return released
 
     def _ingress(self, packet: IPPacket, now: float) -> bool:
-        if not packet.is_tcp or packet.dst != self.host.ip:
+        # Unrolled is_tcp/tcp property pair — this monitor sits ahead of
+        # the TCP stack on every delivered packet.
+        segment = packet.payload
+        if segment.__class__ is not TCPSegment or packet.dst != self.host.ip:
             return False
-        segment = packet.tcp
         key: ConnKey = (segment.dst_port, packet.src, segment.src_port)
         ctx = self.contexts.get(key)
         if ctx is not None:

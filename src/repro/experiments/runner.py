@@ -32,7 +32,12 @@ from repro.apps.vpn import OpenVPNClient
 from repro.experiments import result_cache
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.experiments.parallel import map_trials, note_trials
-from repro.experiments.scenarios import HONEST_DNS_ANSWER, Scenario, build_scenario
+from repro.experiments.scenarios import (
+    HONEST_DNS_ANSWER,
+    Scenario,
+    acquire_scenario,
+    build_scenario,
+)
 from repro.experiments.vantage import VantagePoint
 from repro.experiments.websites import Resolver, Website
 from repro.telemetry.metrics import get_registry
@@ -194,7 +199,7 @@ def _simulate_http_trial(
     the finished scenario (for diagnosis; the cache layer above discards
     it).  ``trace=True`` turns on the packet trace recorder, whose events
     also land on the telemetry bus when that is enabled."""
-    scenario = build_scenario(
+    scenario = acquire_scenario(
         vantage=vantage, website=website, calibration=calibration,
         seed=seed, workload="http", trace=trace,
     )
@@ -607,7 +612,7 @@ def run_dns_trial(
     if vantage.name == "unicom-tianjin":
         force_firewall = True
         firewall_teardown = TIANJIN_DNS_FIREWALL_TEARDOWN
-    scenario = build_scenario(
+    scenario = acquire_scenario(
         vantage=vantage, resolver=resolver, calibration=calibration,
         seed=seed, workload="dns",
         force_firewall=force_firewall,
@@ -734,7 +739,7 @@ def run_tor_trial(
     """
     note_trials()
     get_registry().counter("trials.run").inc()
-    scenario = build_scenario(
+    scenario = acquire_scenario(
         vantage=vantage, website=bridge_site, calibration=calibration,
         seed=seed, workload="tor",
     )
@@ -807,7 +812,7 @@ def run_vpn_trial(
 ) -> VPNTrialResult:
     note_trials()
     get_registry().counter("trials.run").inc()
-    scenario = build_scenario(
+    scenario = acquire_scenario(
         vantage=vantage, website=vpn_site, calibration=calibration,
         seed=seed, workload="vpn",
     )

@@ -16,9 +16,10 @@ varies across periods.
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace as dataclass_replace
 from functools import lru_cache
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.netstack.fragment import OverlapPolicy
 from repro.netstack.packet import IPPacket
@@ -39,9 +40,11 @@ from repro.apps.dns import DNSTcpResolver, DNSUdpResolver
 from repro.apps.tor import TorBridge
 from repro.apps.udp import UDPHost
 from repro.apps.vpn import OpenVPNServer
+from repro.core.env import env_flag
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.experiments.vantage import VantagePoint
 from repro.experiments.websites import Resolver, Website
+from repro.telemetry.metrics import get_registry
 
 #: Hop index where the vantage provider's equipment sits.
 CLIENT_MIDDLEBOX_HOP = 2
@@ -78,6 +81,9 @@ class Scenario:
     udp_server: Optional[UDPHost] = None
     tor_bridge: Optional[TorBridge] = None
     vpn_server: Optional[OpenVPNServer] = None
+    #: Keyword arguments :func:`build_scenario` was called with (everything
+    #: but ``seed``), kept so :meth:`reset` can replay the build.
+    _build_args: Optional[Dict[str, Any]] = None
 
     def run(self, duration: Optional[float] = None) -> None:
         self.clock.run_for(duration or self.calibration.trial_duration)
@@ -113,6 +119,21 @@ class Scenario:
         except ValueError:
             return None  # drift would be geometrically impossible; skip
         return f"{side}{delta:+d}"
+
+    def reset(self, seed: int) -> "Scenario":
+        """Rebuild this trial topology for a new seed, reusing the heavy
+        pieces (clock, network, hosts, path, TCP stacks) in place.
+
+        Returns a fresh :class:`Scenario` wrapper.  The rebuild replays
+        :func:`build_scenario`'s exact RNG draw sequence against reset
+        objects, so results are byte-identical to a from-scratch build
+        with the same arguments and seed.
+        """
+        if self._build_args is None:
+            raise ValueError(
+                "scenario was not created by build_scenario; cannot reset"
+            )
+        return build_scenario(seed=seed, reuse=self, **self._build_args)
 
     def gfw_detections(self) -> int:
         return sum(len(device.detections) for device in self.gfw_devices)
@@ -226,17 +247,37 @@ def build_scenario(
     trace: bool = False,
     force_firewall: Optional[bool] = None,
     firewall_teardown_probability: float = 1.0,
+    reuse: Optional[Scenario] = None,
 ) -> Scenario:
     """Build one trial topology.
 
     ``workload`` is one of ``http``, ``dns``, ``tor``, ``vpn``.  The
     server end is the website (http), the resolver (dns), a Tor bridge,
     or a VPN server.
+
+    ``reuse`` hands back a previous scenario for the same endpoints whose
+    heavy objects (clock, network, hosts, path, TCP stacks) are reset and
+    re-wired in place rather than reallocated.  Both code paths share the
+    same draw sequence from ``Random(seed)``, so fresh and reused builds
+    are indistinguishable trial-for-trial; everything behavioural
+    (middleboxes, firewall, GFW devices, workload apps) is still rebuilt
+    per trial, preserving the trial-isolation contract above.
     """
     rng = random.Random(seed)
-    clock = SimClock()
-    recorder = TraceRecorder(enabled=trace)
-    network = Network(clock=clock, rng=random.Random(rng.randrange(2**31)), trace=recorder)
+    if reuse is None:
+        clock = SimClock()
+        recorder = TraceRecorder(enabled=trace)
+        network = Network(
+            clock=clock, rng=random.Random(rng.randrange(2**31)), trace=recorder
+        )
+    else:
+        clock = reuse.clock
+        clock.reset()
+        recorder = reuse.trace
+        recorder.reset(enabled=trace)
+        network = reuse.network
+        network.rng = random.Random(rng.randrange(2**31))
+        network.undeliverable = 0
 
     if workload == "dns":
         if resolver is None:
@@ -252,16 +293,31 @@ def build_scenario(
         server_name = website.name
     hop_count, gfw_hop = _path_geometry(vantage, rng, calibration, hop_count, gfw_hop)
 
-    client = network.add_host(Host(vantage.ip, vantage.name))
-    server = network.add_host(Host(server_ip, server_name))
-    path = Path(
-        client_ip=vantage.ip,
-        server_ip=server_ip,
-        hop_count=hop_count,
-        base_delay=0.04 if vantage.inside_china else 0.09,
-        loss_rate=_draw_loss_rate(rng, calibration),
-    )
-    network.add_path(path)
+    base_delay = 0.04 if vantage.inside_china else 0.09
+    if reuse is None:
+        client = network.add_host(Host(vantage.ip, vantage.name))
+        server = network.add_host(Host(server_ip, server_name))
+        path = Path(
+            client_ip=vantage.ip,
+            server_ip=server_ip,
+            hop_count=hop_count,
+            base_delay=base_delay,
+            loss_rate=_draw_loss_rate(rng, calibration),
+        )
+        network.add_path(path)
+    else:
+        if reuse.client.ip != vantage.ip or reuse.server.ip != server_ip:
+            raise ValueError(
+                "reuse scenario endpoints do not match: "
+                f"{reuse.client.ip}->{reuse.server.ip} vs {vantage.ip}->{server_ip}"
+            )
+        client = reuse.client
+        server = reuse.server
+        client.reset()
+        server.reset()
+        path = reuse.path
+        path.clear_elements()
+        path.reconfigure(hop_count, base_delay, _draw_loss_rate(rng, calibration))
 
     # -- client-side middleboxes (Table 2) --------------------------------
     for box in vantage.middleboxes.build_boxes(
@@ -311,14 +367,26 @@ def build_scenario(
             devices.append(device)
 
     # -- endpoint stacks ---------------------------------------------------------
-    client_tcp = TCPHost(
-        client, clock, profile=_profile_variant("linux-4.4", False),
-        rng=random.Random(rng.randrange(2**31)),
-    )
-    server_tcp = TCPHost(
-        server, clock, profile=_server_profile(website),
-        rng=random.Random(rng.randrange(2**31)),
-    )
+    client_profile = _profile_variant("linux-4.4", False)
+    server_profile = _server_profile(website)
+    if reuse is None:
+        client_tcp = TCPHost(
+            client, clock, profile=client_profile,
+            rng=random.Random(rng.randrange(2**31)),
+        )
+        server_tcp = TCPHost(
+            server, clock, profile=server_profile,
+            rng=random.Random(rng.randrange(2**31)),
+        )
+    else:
+        client_tcp = reuse.client_tcp
+        client_tcp.reset(
+            profile=client_profile, rng=random.Random(rng.randrange(2**31))
+        )
+        server_tcp = reuse.server_tcp
+        server_tcp.reset(
+            profile=server_profile, rng=random.Random(rng.randrange(2**31))
+        )
 
     scenario = Scenario(
         clock=clock,
@@ -336,6 +404,16 @@ def build_scenario(
         website=website,
         resolver=resolver,
         trace=recorder,
+        _build_args=dict(
+            vantage=vantage,
+            website=website,
+            resolver=resolver,
+            calibration=calibration,
+            workload=workload,
+            trace=trace,
+            force_firewall=force_firewall,
+            firewall_teardown_probability=firewall_teardown_probability,
+        ),
     )
 
     # -- workload --------------------------------------------------------------
@@ -359,13 +437,93 @@ def build_scenario(
 
     # -- measurement sniffer: GFW-forged packets reaching the client ------------
     def sniff(packet: IPPacket, now: float) -> bool:
-        origin = str(packet.meta.get("origin", ""))
-        if origin.startswith("gfw") and packet.is_tcp and packet.tcp.is_rst:
-            scenario.gfw_packets_at_client.append(packet)
+        meta = packet.meta
+        if meta:  # ordinary traffic carries no metadata — skip the lookups
+            origin = str(meta.get("origin", ""))
+            if origin.startswith("gfw") and packet.is_tcp and packet.tcp.is_rst:
+                scenario.gfw_packets_at_client.append(packet)
         return False
 
     client.register_handler(sniff, prepend=True)
     return scenario
+
+
+#: Pooled scenarios keyed by endpoint identity — the only build inputs the
+#: reuse fast path cannot re-draw or rebuild.  Everything else (calibration
+#: coins, middlebox composition, GFW installation, workload apps) is derived
+#: from the seed per build, so two calls with the same key but different
+#: seeds or workloads still reuse one set of heavy objects.
+_SCENARIO_POOL: "OrderedDict[tuple, Scenario]" = OrderedDict()
+#: A Table-1 sweep touches about a dozen (vantage, target) cells; the cap
+#: only protects very long-lived processes sweeping thousands of cells.
+_SCENARIO_POOL_LIMIT = 256
+
+_SCENARIOS_BUILT = get_registry().counter("scenario.built")
+_SCENARIOS_REUSED = get_registry().counter("scenario.reused")
+
+
+def acquire_scenario(
+    vantage: VantagePoint,
+    website: Optional[Website] = None,
+    resolver: Optional[Resolver] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+    workload: str = "http",
+    trace: bool = False,
+    force_firewall: Optional[bool] = None,
+    firewall_teardown_probability: float = 1.0,
+) -> Scenario:
+    """:func:`build_scenario`, but reusing pooled topology objects per cell.
+
+    Behaviourally identical to a fresh build: reuse replays the exact RNG
+    draw sequence against reset objects, so for a fixed seed the reused
+    and freshly-built scenarios produce byte-identical trial results.
+    Falls back to plain builds when tracing is requested (traced trials
+    are for debugging; keep them maximally isolated) or when the
+    ``REPRO_SCENARIO_REUSE`` knob is off.  The pool is per-process, so
+    parallel sweeps (``REPRO_WORKERS``) reuse within each worker.
+    """
+    target = resolver if workload == "dns" else website
+    if trace or target is None or not env_flag("REPRO_SCENARIO_REUSE", True):
+        _SCENARIOS_BUILT.inc()
+        return build_scenario(
+            vantage,
+            website=website,
+            resolver=resolver,
+            calibration=calibration,
+            seed=seed,
+            workload=workload,
+            trace=trace,
+            force_firewall=force_firewall,
+            firewall_teardown_probability=firewall_teardown_probability,
+        )
+    key = (vantage.ip, vantage.name, target.ip, target.name)
+    pooled = _SCENARIO_POOL.pop(key, None)
+    if pooled is None:
+        _SCENARIOS_BUILT.inc()
+    else:
+        _SCENARIOS_REUSED.inc()
+    scenario = build_scenario(
+        vantage,
+        website=website,
+        resolver=resolver,
+        calibration=calibration,
+        seed=seed,
+        workload=workload,
+        trace=trace,
+        force_firewall=force_firewall,
+        firewall_teardown_probability=firewall_teardown_probability,
+        reuse=pooled,
+    )
+    _SCENARIO_POOL[key] = scenario
+    if len(_SCENARIO_POOL) > _SCENARIO_POOL_LIMIT:
+        _SCENARIO_POOL.popitem(last=False)
+    return scenario
+
+
+def clear_scenario_pool() -> None:
+    """Drop all pooled scenarios (tests and benchmarks)."""
+    _SCENARIO_POOL.clear()
 
 
 @lru_cache(maxsize=1)

@@ -33,7 +33,21 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from repro.netstack.fragment import FragmentReassembler
-from repro.netstack.packet import IPPacket, TCPSegment, seq_add, seq_sub
+from repro.netstack.packet import (
+    ACK,
+    FIN,
+    IPPacket,
+    RST,
+    SYN,
+    TCPSegment,
+    UDPDatagram,
+    seq_add,
+    seq_sub,
+)
+
+# Flag masks for the inlined per-packet dispatch in ``_process_tcp``.
+_SYN_ACK_RST_FIN = SYN | ACK | RST | FIN
+_SYN_ACK = SYN | ACK
 from repro.netstack.wire import tcp_checksum_valid, wire_lengths
 from repro.netstack.options import KIND_MD5SIG
 from repro.netsim.path import Direction, Tap
@@ -48,9 +62,29 @@ from repro.gfw.rules import Detection
 from repro.telemetry.events import get_bus
 from repro.telemetry.metrics import get_registry
 
+# Process-lifetime registry instruments, resolved once at import: devices
+# are rebuilt per trial, and nine name lookups per device showed up in
+# sweep profiles.  Safe because MetricsRegistry.reset() zeroes counters in
+# place rather than replacing them.
+_REGISTRY = get_registry()
+_METRIC_RST_SENT = _REGISTRY.counter("gfw.rst_sent")
+_METRIC_SYNACK_FORGED = _REGISTRY.counter("gfw.synack_forged")
+_METRIC_DPI_MATCH = _REGISTRY.counter("dpi.match")
+_METRIC_DPI_MISS = _REGISTRY.counter("dpi.miss")
+_METRIC_BYTES = _REGISTRY.counter("gfw.bytes_inspected")
+_METRIC_TCB_CREATED = _REGISTRY.counter("gfw.tcb_created")
+_METRIC_TEARDOWN = _REGISTRY.counter("gfw.tcb_teardown")
+_METRIC_RESYNC_ENTERED = _REGISTRY.counter("gfw.resync_entered")
+_METRIC_RESYNC_EXITED = _REGISTRY.counter("gfw.resync_exited")
+
 
 class GFWDevice(Tap):
     """One censoring middlebox instance at a tap point."""
+
+    #: The device never mutates observed packets and retains nothing past
+    #: the synchronous observe call (fragments, the one retained case,
+    #: are copied below), so the network may skip the defensive copy.
+    observe_copies = False
 
     def __init__(
         self,
@@ -86,17 +120,16 @@ class GFWDevice(Tap):
         # the worker pool) and the structured event bus.  The per-device
         # attributes above stay authoritative for `stats()` because they
         # are zeroed between trials; the registry accumulates.
-        registry = get_registry()
         self._bus = get_bus()
-        self._metric_rst_sent = registry.counter("gfw.rst_sent")
-        self._metric_synack_forged = registry.counter("gfw.synack_forged")
-        self._metric_dpi_match = registry.counter("dpi.match")
-        self._metric_dpi_miss = registry.counter("dpi.miss")
-        self._metric_bytes = registry.counter("gfw.bytes_inspected")
-        self._metric_tcb_created = registry.counter("gfw.tcb_created")
-        self._metric_teardown = registry.counter("gfw.tcb_teardown")
-        self._metric_resync_entered = registry.counter("gfw.resync_entered")
-        self._metric_resync_exited = registry.counter("gfw.resync_exited")
+        self._metric_rst_sent = _METRIC_RST_SENT
+        self._metric_synack_forged = _METRIC_SYNACK_FORGED
+        self._metric_dpi_match = _METRIC_DPI_MATCH
+        self._metric_dpi_miss = _METRIC_DPI_MISS
+        self._metric_bytes = _METRIC_BYTES
+        self._metric_tcb_created = _METRIC_TCB_CREATED
+        self._metric_teardown = _METRIC_TEARDOWN
+        self._metric_resync_entered = _METRIC_RESYNC_ENTERED
+        self._metric_resync_exited = _METRIC_RESYNC_EXITED
         # NB3 behaviour is consistent per installation per period (§4, §8):
         # draw once per cluster and share across co-located devices.
         if not hasattr(self.cluster, "rst_resyncs_established"):
@@ -111,21 +144,26 @@ class GFWDevice(Tap):
     # Tap interface
     # ------------------------------------------------------------------
     def observe(self, packet: IPPacket, direction: Direction, now: float) -> None:
-        if packet.is_fragment:
-            whole = self._fragments.add(packet)
+        # Inlined type dispatch: this runs for every packet at every tap,
+        # so the is_fragment/is_udp/is_tcp property chain is unrolled.
+        if packet.more_fragments or packet.frag_offset > 0:
+            # Fragments are retained until the datagram completes, so the
+            # reassembler must own a copy of the live packet (see
+            # ``observe_copies``).
+            whole = self._fragments.add(packet.copy())
             if whole is None:
                 return
             packet = whole
-        if packet.is_udp:
+        payload = packet.payload
+        if payload.__class__ is TCPSegment:
+            if packet.src in self.blocked_ips or packet.dst in self.blocked_ips:
+                self._enforce_ip_block(packet, now)
+                return
+            self._process_tcp(packet, payload, now)
+            return
+        if payload.__class__ is UDPDatagram:
             if self.dns_poisoner is not None and self.config.dns_poisoning:
                 self.dns_poisoner.handle(self, packet, direction, now)
-            return
-        if not packet.is_tcp:
-            return
-        if packet.src in self.blocked_ips or packet.dst in self.blocked_ips:
-            self._enforce_ip_block(packet, now)
-            return
-        self._process_tcp(packet, packet.tcp, now)
 
     def reset_state(self) -> None:
         """Forget all flows and blacklists (between experiment trials)."""
@@ -193,7 +231,10 @@ class GFWDevice(Tap):
         if self.config.validates_tcp_header_length:
             if segment.data_offset_override is not None and segment.data_offset_override < 5:
                 return
-        if self.config.validates_ip_total_length:
+        if (
+            self.config.validates_ip_total_length
+            and packet.total_length_override is not None
+        ):
             emitted, actual = wire_lengths(packet)
             if emitted > actual:
                 return
@@ -204,16 +245,18 @@ class GFWDevice(Tap):
             return
 
         from_client = flow.from_believed_client(src)
-        if segment.is_pure_syn:
+        flags = segment.flags
+        masked = flags & _SYN_ACK_RST_FIN
+        if masked == SYN:
             self._on_syn(flow, key, from_client, segment)
             return
-        if segment.is_synack:
+        if masked == _SYN_ACK:
             self._on_synack(flow, from_client, segment)
             return
-        if segment.is_rst:
+        if flags & RST:
             self._on_rst(flow, key, segment)
             return
-        if segment.is_fin and self.config.fin_tears_down:
+        if flags & FIN and self.config.fin_tears_down:
             self._teardown(key, "fin")
             return
         self._on_data_or_ack(flow, key, from_client, segment, now)

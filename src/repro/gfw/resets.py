@@ -32,6 +32,43 @@ class ResetInjector:
         # Cyclic counters for the type-2 signature.
         self._cyclic_ttl = 64
         self._cyclic_window = 512
+        self._origin = f"gfw-type{reset_type}"
+
+    def _forged_packet(
+        self, src: str, dst: str, segment: TCPSegment, ttl: int, kind: str
+    ) -> IPPacket:
+        """Wrap a forged segment; built by direct slot assignment because
+        volleys are the dominant packet source in censored trials."""
+        packet = IPPacket.__new__(IPPacket)
+        packet.src = src
+        packet.dst = dst
+        packet.payload = segment
+        packet.ttl = ttl
+        packet.identification = 0
+        packet.dont_fragment = True
+        packet.more_fragments = False
+        packet.frag_offset = 0
+        packet.total_length_override = None
+        packet.meta = {"origin": self._origin, "forged": kind}
+        return packet
+
+    @staticmethod
+    def _forged_segment(
+        src_port: int, dst_port: int, seq: int, ack: int, flags: int, window: int
+    ) -> TCPSegment:
+        segment = TCPSegment.__new__(TCPSegment)
+        segment.src_port = src_port
+        segment.dst_port = dst_port
+        segment.seq = seq
+        segment.ack = ack
+        segment.flags = flags
+        segment.window = window
+        segment.payload = b""
+        segment.options = []
+        segment.urgent = 0
+        segment.checksum_override = None
+        segment.data_offset_override = None
+        return segment
 
     # -- signature helpers -------------------------------------------------
     def _next_ttl(self) -> int:
@@ -68,27 +105,25 @@ class ResetInjector:
         if self.reset_type == 1:
             offsets = (0,)
             flags = RST
+            ack = 0
         else:
             offsets = (0, 1460, 4380)
             flags = RST | ACK
+            ack = ack_hint
         for offset in offsets:
-            segment = TCPSegment(
-                src_port=spoof_src[1],
-                dst_port=toward[1],
-                seq=seq_add(seq_base, offset),
-                ack=ack_hint if flags & ACK else 0,
-                flags=flags,
-                window=self._next_window(),
+            segment = self._forged_segment(
+                spoof_src[1],
+                toward[1],
+                seq_add(seq_base, offset),
+                ack,
+                flags,
+                self._next_window(),
             )
-            packet = IPPacket(
-                src=spoof_src[0],
-                dst=toward[0],
-                payload=segment,
-                ttl=self._next_ttl(),
+            packets.append(
+                self._forged_packet(
+                    spoof_src[0], toward[0], segment, self._next_ttl(), "reset"
+                )
             )
-            packet.meta["origin"] = f"gfw-type{self.reset_type}"
-            packet.meta["forged"] = "reset"
-            packets.append(packet)
         return packets
 
     def forged_synack(
@@ -102,17 +137,14 @@ class ResetInjector:
         Only type-2 devices do this (§2.1).  The sequence number is drawn
         at random so the client's handshake cannot complete correctly.
         """
-        segment = TCPSegment(
-            src_port=spoof_src[1],
-            dst_port=toward[1],
-            seq=self.rng.randrange(0, 2**32),
-            ack=seq_add(acked_seq, 1),
-            flags=SYN | ACK,
-            window=self._next_window(),
+        segment = self._forged_segment(
+            spoof_src[1],
+            toward[1],
+            self.rng.randrange(0, 2**32),
+            seq_add(acked_seq, 1),
+            SYN | ACK,
+            self._next_window(),
         )
-        packet = IPPacket(
-            src=spoof_src[0], dst=toward[0], payload=segment, ttl=self._next_ttl()
+        return self._forged_packet(
+            spoof_src[0], toward[0], segment, self._next_ttl(), "synack"
         )
-        packet.meta["origin"] = f"gfw-type{self.reset_type}"
-        packet.meta["forged"] = "synack"
-        return packet

@@ -23,7 +23,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.netstack.fragment import FragmentReassembler, OverlapPolicy
 from repro.netstack.options import KIND_MD5SIG
-from repro.netstack.packet import IPPacket, TCPSegment, seq_add, seq_sub
+from repro.netstack.packet import FIN, IPPacket, RST, TCPSegment, seq_add, seq_sub
 from repro.netstack.wire import tcp_checksum_valid
 from repro.netsim.path import Direction, InlineBox, ProcessResult
 
@@ -106,22 +106,23 @@ class FieldSanitizerBox(InlineBox):
     def process(
         self, packet: IPPacket, direction: Direction, now: float
     ) -> ProcessResult:
-        if not packet.is_tcp:
+        segment = packet.payload
+        if segment.__class__ is not TCPSegment:
             return ProcessResult.forward()
-        segment = packet.tcp
         if not tcp_checksum_valid(segment, packet.src, packet.dst):
             if self._roll(self.drop_bad_checksum, "bad-checksum"):
                 return ProcessResult.drop()
         # §5.3: "insertion packets leveraging the unsolicited MD5 header
         # … are never dropped by the middleboxes we encounter" — the
         # option changes how the sanitizers classify the packet.
-        if segment.find_option(KIND_MD5SIG) is not None:
+        if segment.options and segment.find_option(KIND_MD5SIG) is not None:
             return ProcessResult.forward()
-        if segment.has_no_flags and self._roll(self.drop_no_flag, "no-flag"):
+        flags = segment.flags
+        if flags == 0 and self._roll(self.drop_no_flag, "no-flag"):
             return ProcessResult.drop()
-        if segment.is_fin and self._roll(self.drop_fin, "fin"):
+        if flags & FIN and self._roll(self.drop_fin, "fin"):
             return ProcessResult.drop()
-        if segment.is_rst and self._roll(self.drop_rst, "rst"):
+        if flags & RST and self._roll(self.drop_rst, "rst"):
             return ProcessResult.drop()
         return ProcessResult.forward()
 

@@ -6,11 +6,21 @@ matching the paper's threat model) and carries an ordered set of
 Packet traversal is event-driven: each element processes the packet at
 the sim time it would physically arrive there, so a GFW reset injected at
 hop 8 genuinely races the original packet to the server at hop 14.
+
+Traversal is the simulator's hottest loop, so it is allocation-free per
+hop: the path precomputes, per direction, an immutable schedule of
+element visits (rebuilt only when elements are added or the route
+drifts — counted by the ``netsim.schedule_rebuilds`` metric), and each
+in-flight packet rides a single slotted :class:`_Transit` event that is
+mutated and re-posted on the clock hop after hop instead of allocating a
+closure per hop.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect_left, bisect_right
+from heapq import heappush
 from typing import Dict, List, Optional, Tuple
 
 from repro.netstack.packet import IPPacket
@@ -25,6 +35,12 @@ from repro.netsim.path import (
 )
 from repro.netsim.simclock import SimClock
 from repro.netsim.trace import TraceRecorder
+from repro.telemetry.metrics import get_registry
+
+#: Counts full schedule precomputations.  The no-rebuild-per-packet
+#: guarantee is tested against this counter: sending N packets down an
+#: unchanged path must not move it.
+_SCHEDULE_REBUILDS = get_registry().counter("netsim.schedule_rebuilds")
 
 
 class Path:
@@ -65,6 +81,10 @@ class Path:
         self.name = name or f"{client_ip}<->{server_ip}"
         self.elements: List[PathElement] = []
         self.network: Optional["Network"] = None
+        #: (hops ascending, elements ascending, elements descending) or
+        #: None when stale; rebuilt lazily by :meth:`_build_schedule`.
+        self._schedule: Optional[Tuple[tuple, tuple, tuple]] = None
+        self._per_hop_delay = base_delay / hop_count
 
     # -- construction -------------------------------------------------------
     def add_element(self, element: PathElement) -> PathElement:
@@ -76,6 +96,7 @@ class Path:
         element.path = self
         self.elements.append(element)
         self.elements.sort(key=lambda item: item.hop)
+        self._schedule = None
         return element
 
     def endpoints(self) -> Tuple[str, str]:
@@ -93,6 +114,25 @@ class Path:
         for element in self.elements:
             element.reset_state()
 
+    def clear_elements(self) -> None:
+        """Detach every element (scenario reuse rebuilds them per trial)."""
+        for element in self.elements:
+            element.path = None
+        self.elements.clear()
+        self._schedule = None
+
+    def reconfigure(
+        self, hop_count: int, base_delay: float, loss_rate: float
+    ) -> None:
+        """Re-draw this path's geometry in place (scenario reuse)."""
+        if hop_count < 2:
+            raise ValueError("a path needs at least two hops")
+        self.hop_count = hop_count
+        self.base_delay = base_delay
+        self.loss_rate = loss_rate
+        self._schedule = None
+        self._per_hop_delay = base_delay / hop_count
+
     # -- route dynamics -------------------------------------------------------
     def drift_server_side(self, delta: int) -> None:
         """Lengthen (or shorten) the path beyond the last element.
@@ -107,6 +147,8 @@ class Path:
         if new_count <= last_element_hop + 0:
             raise ValueError("drift would place the server before an element")
         self.hop_count = new_count
+        self._schedule = None
+        self._per_hop_delay = self.base_delay / new_count
 
     def drift_client_side(self, delta: int) -> None:
         """Lengthen (or shorten) the path before the first element.
@@ -122,10 +164,12 @@ class Path:
         for element in self.elements:
             element.hop += delta
         self.hop_count += delta
+        self._schedule = None
+        self._per_hop_delay = self.base_delay / self.hop_count
 
     # -- traversal --------------------------------------------------------------
     def per_hop_delay(self) -> float:
-        return self.base_delay / self.hop_count
+        return self._per_hop_delay
 
     def sender_hop(self, direction: Direction) -> int:
         """Hop coordinate (client-based) of the sender for ``direction``."""
@@ -134,15 +178,40 @@ class Path:
     def destination_hop(self, direction: Direction) -> int:
         return self.hop_count if direction is Direction.CLIENT_TO_SERVER else 0
 
+    def _build_schedule(self) -> Tuple[tuple, tuple, tuple]:
+        """Precompute the per-direction visit schedules.
+
+        ``self.elements`` is kept hop-sorted by :meth:`add_element`, but
+        drift can perturb nothing about the *order* (hops shift
+        uniformly), so one ascending sort is authoritative for both
+        directions; the descending view is its reverse.
+        """
+        forward = tuple(sorted(self.elements, key=lambda item: item.hop))
+        hops = tuple(element.hop for element in forward)
+        schedule = (hops, forward, tuple(reversed(forward)))
+        self._schedule = schedule
+        _SCHEDULE_REBUILDS.inc()
+        return schedule
+
+    def travel_plan(self, origin_hop: int, direction: Direction) -> Tuple[tuple, int]:
+        """The precomputed visit plan from ``origin_hop``: a tuple of
+        elements in travel order plus the index of the first one ahead.
+
+        No list is built per packet — the tuples are shared and the start
+        index comes from a bisect over the cached hop array.
+        """
+        schedule = self._schedule
+        if schedule is None:
+            schedule = self._build_schedule()
+        hops, forward, backward = schedule
+        if direction is Direction.CLIENT_TO_SERVER:
+            return forward, bisect_right(hops, origin_hop)
+        return backward, len(hops) - bisect_left(hops, origin_hop)
+
     def elements_ahead(self, origin_hop: int, direction: Direction) -> List[PathElement]:
         """Elements the packet will meet, in travel order."""
-        if direction is Direction.CLIENT_TO_SERVER:
-            ahead = [e for e in self.elements if e.hop > origin_hop]
-            ahead.sort(key=lambda item: item.hop)
-        else:
-            ahead = [e for e in self.elements if e.hop < origin_hop]
-            ahead.sort(key=lambda item: item.hop, reverse=True)
-        return ahead
+        plan, start = self.travel_plan(origin_hop, direction)
+        return list(plan[start:])
 
     def hop_distance(self, origin_hop: int, target_hop: int) -> int:
         return abs(target_hop - origin_hop)
@@ -153,6 +222,122 @@ class Path:
             raise RuntimeError(f"path {self.name} is not attached to a network")
         packet.meta.setdefault("injected_by", tap.name)
         self.network.launch(self, packet, direction, origin_hop=tap.hop, origin=tap.name)
+
+
+class _Transit:
+    """One packet's in-flight traversal state, reused hop to hop.
+
+    A single slotted event rides the clock for the whole traversal: after
+    each element visit :meth:`fire` mutates ``current_hop``/``plan_index``
+    and re-posts the same object.  ``cancelled`` is a class attribute —
+    transits are never cancelled, and keeping it off the instance saves a
+    slot write per packet.
+
+    ``fire`` holds the whole arrival pipeline (TTL/loss accounting,
+    element visit, delivery) in one frame: the old
+    ``_arrive -> _visit_element -> _post`` chain cost three extra Python
+    calls per event, which is real money at paper-sweep packet rates.
+    """
+
+    __slots__ = (
+        "network", "path", "packet", "direction", "current_hop",
+        "plan", "plan_len", "plan_index", "drop_hop", "origin",
+        "target_hop", "distance",
+    )
+
+    cancelled = False
+
+    def fire(self) -> None:
+        network = self.network
+        path = self.path
+        packet = self.packet
+        direction = self.direction
+        current_hop = self.current_hop
+        trace = network.trace
+        c2s = direction is Direction.CLIENT_TO_SERVER
+        # TTL accounting: packet.ttl was the value at current_hop.
+        remaining_ttl = packet.ttl - self.distance
+        if remaining_ttl <= 0:
+            expiry_hop: Optional[int] = (
+                current_hop + packet.ttl if c2s else current_hop - packet.ttl
+            )
+        else:
+            expiry_hop = None
+        drop_hop = self.drop_hop
+        if drop_hop is not None and network._hop_reached(
+            current_hop, self.target_hop, drop_hop, direction
+        ):
+            if expiry_hop is None or network._loss_before_ttl(
+                current_hop, drop_hop, expiry_hop, direction
+            ):
+                if trace.enabled:
+                    trace.record(
+                        network.clock.now, f"hop{drop_hop}", "drop", packet,
+                        direction.value, note="loss",
+                    )
+                return
+        if expiry_hop is not None:
+            if trace.enabled:
+                trace.record(
+                    network.clock.now, f"hop{expiry_hop}", "drop", packet,
+                    direction.value, note="ttl-expired",
+                )
+            return
+        packet.ttl = remaining_ttl
+        index = self.plan_index
+        if index >= self.plan_len:
+            network._deliver(path, packet, direction, self.origin)
+            return
+        element = self.plan[index]
+        now = network.clock.now
+        if isinstance(element, Tap):
+            if element.observe_copies or trace.enabled:
+                element.observe(packet.copy(), direction, now)
+            else:
+                # Read-only taps (the GFW devices) opt out of the
+                # defensive copy; observation is synchronous, so later
+                # TTL mutation on the live object cannot be seen.
+                element.observe(packet, direction, now)
+            if trace.enabled:
+                trace.record(now, element.name, "observe", packet, direction.value)
+            self.current_hop = element.hop
+            self.plan_index = index + 1
+            network._post(self)
+            return
+        result: ProcessResult = element.process(packet, direction, now)
+        verdict = result.verdict
+        if verdict is Verdict.DROP:
+            if trace.enabled:
+                trace.record(
+                    now, element.name, "drop", packet, direction.value,
+                    note="middlebox",
+                )
+            return
+        if verdict is Verdict.REPLACE:
+            if trace.enabled:
+                trace.record(
+                    now, element.name, "replace", packet, direction.value,
+                    note=f"{len(result.packets)} packet(s)",
+                )
+            for replacement in result.packets:
+                clone = _Transit()
+                clone.network = network
+                clone.path = path
+                clone.packet = replacement
+                clone.direction = direction
+                clone.current_hop = element.hop
+                clone.plan = self.plan
+                clone.plan_len = self.plan_len
+                clone.plan_index = index + 1
+                clone.drop_hop = drop_hop
+                clone.origin = self.origin
+                network._post(clone)
+            return
+        if trace.enabled:
+            trace.record(now, element.name, "forward", packet, direction.value)
+        self.current_hop = element.hop
+        self.plan_index = index + 1
+        network._post(self)
 
 
 class Network:
@@ -211,9 +396,10 @@ class Network:
             self.undeliverable += 1
             return
         direction = path.direction_from(sender.ip)
-        self.trace.record(
-            self.clock.now, sender.name, "send", packet, direction.value
-        )
+        if self.trace.enabled:
+            self.trace.record(
+                self.clock.now, sender.name, "send", packet, direction.value
+            )
         self.launch(
             path, packet, direction, origin_hop=path.sender_hop(direction),
             origin=sender.name,
@@ -241,71 +427,45 @@ class Network:
             if direction is Direction.SERVER_TO_CLIENT:
                 # express as the hop (client coordinate) where it dies
                 drop_hop = self.rng.randint(low, high - 1)
-        plan = path.elements_ahead(origin_hop, direction)
-        self._advance(path, packet, direction, origin_hop, plan, 0, drop_hop, origin)
+        plan, start = path.travel_plan(origin_hop, direction)
+        transit = _Transit()
+        transit.network = self
+        transit.path = path
+        transit.packet = packet
+        transit.direction = direction
+        transit.current_hop = origin_hop
+        transit.plan = plan
+        transit.plan_len = len(plan)
+        transit.plan_index = start
+        transit.drop_hop = drop_hop
+        transit.origin = origin
+        self._post(transit)
 
     # -- traversal engine -----------------------------------------------------
-    def _advance(
-        self,
-        path: Path,
-        packet: IPPacket,
-        direction: Direction,
-        current_hop: int,
-        plan: List[PathElement],
-        plan_index: int,
-        drop_hop: Optional[int],
-        origin: str,
-    ) -> None:
-        """Schedule the next step (element visit or final delivery)."""
-        if plan_index < len(plan):
-            element = plan[plan_index]
-            target_hop = element.hop
+    def _post(self, transit: _Transit) -> None:
+        """Compute the next leg (element visit or delivery) and enqueue."""
+        path = transit.path
+        index = transit.plan_index
+        if index < transit.plan_len:
+            target_hop = transit.plan[index].hop
+        elif transit.direction is Direction.CLIENT_TO_SERVER:
+            target_hop = path.hop_count
         else:
-            element = None
-            target_hop = path.destination_hop(direction)
-        distance = path.hop_distance(current_hop, target_hop)
-        delay = path.per_hop_delay() * max(distance, 0)
+            target_hop = 0
+        distance = target_hop - transit.current_hop
+        if distance < 0:
+            distance = -distance
+        transit.target_hop = target_hop
+        transit.distance = distance
+        delay = path._per_hop_delay * distance
         if path.jitter > 0.0 and delay > 0.0:
             delay *= 1.0 + self.rng.uniform(-path.jitter, path.jitter)
-
-        def arrive() -> None:
-            # TTL accounting: packet.ttl was the value at current_hop.
-            remaining_ttl = packet.ttl - distance
-            died_of_ttl = remaining_ttl <= 0
-            if died_of_ttl:
-                expiry_hop = (
-                    current_hop + packet.ttl
-                    if direction is Direction.CLIENT_TO_SERVER
-                    else current_hop - packet.ttl
-                )
-            else:
-                expiry_hop = None
-            if drop_hop is not None and self._hop_reached(
-                current_hop, target_hop, drop_hop, direction
-            ):
-                if not died_of_ttl or self._loss_before_ttl(
-                    current_hop, drop_hop, expiry_hop, direction
-                ):
-                    self.trace.record(
-                        self.clock.now, f"hop{drop_hop}", "drop", packet,
-                        direction.value, note="loss",
-                    )
-                    return
-            if died_of_ttl:
-                self.trace.record(
-                    self.clock.now, f"hop{expiry_hop}", "drop", packet,
-                    direction.value, note="ttl-expired",
-                )
-                return
-            packet.ttl = remaining_ttl
-            if element is None:
-                self._deliver(path, packet, direction, origin)
-                return
-            self._visit_element(
-                path, packet, direction, element, plan, plan_index, drop_hop, origin
-            )
-
-        self.clock.schedule(delay, arrive)
+        # Inlined SimClock.post: one call per traversal leg adds up at
+        # paper-sweep packet rates, and this module is the clock's peer in
+        # the engine (the entry ordering contract lives in simclock.py).
+        clock = self.clock
+        clock._seq += 1
+        heappush(clock._queue, (clock._now + delay, clock._seq, transit))
 
     def _hop_reached(
         self, current_hop: int, target_hop: int, probe_hop: int, direction: Direction
@@ -327,50 +487,6 @@ class Network:
             return drop_hop <= expiry_hop
         return drop_hop >= expiry_hop
 
-    def _visit_element(
-        self,
-        path: Path,
-        packet: IPPacket,
-        direction: Direction,
-        element: PathElement,
-        plan: List[PathElement],
-        plan_index: int,
-        drop_hop: Optional[int],
-        origin: str,
-    ) -> None:
-        now = self.clock.now
-        if isinstance(element, Tap):
-            element.observe(packet.copy(), direction, now)
-            self.trace.record(now, element.name, "observe", packet, direction.value)
-            self._advance(
-                path, packet, direction, element.hop, plan, plan_index + 1,
-                drop_hop, origin,
-            )
-            return
-        assert isinstance(element, InlineBox)
-        result: ProcessResult = element.process(packet, direction, now)
-        if result.verdict is Verdict.DROP:
-            self.trace.record(
-                now, element.name, "drop", packet, direction.value, note="middlebox"
-            )
-            return
-        if result.verdict is Verdict.REPLACE:
-            self.trace.record(
-                now, element.name, "replace", packet, direction.value,
-                note=f"{len(result.packets)} packet(s)",
-            )
-            for replacement in result.packets:
-                self._advance(
-                    path, replacement, direction, element.hop, plan,
-                    plan_index + 1, drop_hop, origin,
-                )
-            return
-        self.trace.record(now, element.name, "forward", packet, direction.value)
-        self._advance(
-            path, packet, direction, element.hop, plan, plan_index + 1,
-            drop_hop, origin,
-        )
-
     def _deliver(
         self, path: Path, packet: IPPacket, direction: Direction, origin: str
     ) -> None:
@@ -387,9 +503,10 @@ class Network:
                 note="no such host",
             )
             return
-        self.trace.record(
-            self.clock.now, host.name, "deliver", packet, direction.value
-        )
+        if self.trace.enabled:
+            self.trace.record(
+                self.clock.now, host.name, "deliver", packet, direction.value
+            )
         host.handle_packet(packet, self.clock.now)
 
     # -- convenience ----------------------------------------------------------

@@ -64,7 +64,7 @@ class Host(Endpoint):
 
     # -- receive ----------------------------------------------------------
     def handle_packet(self, packet: IPPacket, now: float) -> None:
-        if packet.is_fragment:
+        if packet.more_fragments or packet.frag_offset > 0:
             whole = self._reassembler.add(packet)
             if whole is None:
                 return
@@ -91,9 +91,24 @@ class Host(Endpoint):
     def unregister_handler(self, handler: Callable[[IPPacket, float], bool]) -> None:
         self._handlers.remove(handler)
 
+    def reset(self) -> None:
+        """Restore pristine state in place (scenario reuse between trials).
+
+        Handlers and egress filters are dropped — the scenario builder
+        re-registers the stack, sniffer, and interception layers in the
+        same order a fresh host would see them.
+        """
+        self._handlers.clear()
+        self._egress_filters.clear()
+        self._reassembler = FragmentReassembler(policy=self._reassembler.policy)
+        self.unclaimed_packets = 0
+
     # -- send ---------------------------------------------------------------
     def send(self, packet: IPPacket) -> None:
         """Send through any registered egress filters, then to the wire."""
+        if not self._egress_filters:
+            super().send(packet)
+            return
         now = self.network.clock.now if self.network is not None else 0.0
         packets = [packet]
         for egress_filter in self._egress_filters:

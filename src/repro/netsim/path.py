@@ -60,15 +60,21 @@ class ProcessResult:
 
     @classmethod
     def forward(cls) -> "ProcessResult":
-        return cls(Verdict.FORWARD)
+        return _FORWARD
 
     @classmethod
     def drop(cls) -> "ProcessResult":
-        return cls(Verdict.DROP)
+        return _DROP
 
     @classmethod
     def replace(cls, packets: Sequence[IPPacket]) -> "ProcessResult":
         return cls(Verdict.REPLACE, packets)
+
+
+# FORWARD/DROP results carry no payload, so every middlebox on every
+# packet can share two frozen instances instead of allocating one each.
+_FORWARD = ProcessResult(Verdict.FORWARD)
+_DROP = ProcessResult(Verdict.DROP)
 
 
 class PathElement:
@@ -114,6 +120,14 @@ class Tap(PathElement):
     :meth:`inject_toward_client` / :meth:`inject_toward_server` to put
     forged packets on the wire from their own hop position.
     """
+
+    #: When True (the default, and the documented contract) the network
+    #: hands :meth:`observe` a defensive copy.  A subclass that promises
+    #: to treat observed packets as read-only — and not to retain them
+    #: past the synchronous observe call — may set this to False and
+    #: receive the live object, skipping two allocations per observation
+    #: on the simulator's hottest path.
+    observe_copies = True
 
     def observe(self, packet: IPPacket, direction: Direction, now: float) -> None:
         """Called with a copy of every packet that survives to this hop."""

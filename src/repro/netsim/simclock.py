@@ -5,41 +5,73 @@ timers, the GFW's 90-second blacklist expiry, INTANG cache TTLs — runs off
 one :class:`SimClock`.  Time is a float in seconds and only advances when
 :meth:`run` processes events, so experiments that span "90 seconds" of
 blacklist time execute in microseconds of wall clock.
+
+The queue holds ``(time, seq, event)`` entries where ``event`` is any
+slotted object exposing a ``cancelled`` attribute and a ``fire()``
+method.  ``seq`` is a per-clock monotonic counter, so same-instant events
+execute in scheduling order (deterministic tie-breaking — several evasion
+strategies depend on the *order* in which a garbage packet and the real
+data reach the GFW) and the ``event`` object itself is never compared.
+
+Two scheduling paths share the queue:
+
+- :meth:`schedule` wraps a callback in an :class:`EventHandle` (which is
+  itself the cancellation token timers hold on to);
+- :meth:`post` enqueues a caller-owned event object directly — the
+  packet-traversal hot path re-posts one mutable transit event per packet
+  instead of allocating a closure per hop.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 
-class EventHandle:
-    """Cancellation handle returned by :meth:`SimClock.schedule`."""
+class Event:
+    """Interface for heap entries: ``cancelled`` plus ``fire()``.
 
-    __slots__ = ("cancelled", "time")
+    Subclassing is optional — :meth:`SimClock.post` duck-types — but the
+    class documents the contract and gives timers a shared ``cancel()``.
+    """
 
-    def __init__(self, time: float) -> None:
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
         self.cancelled = False
-        self.time = time
 
     def cancel(self) -> None:
         self.cancelled = True
 
+    def fire(self) -> None:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+
+class EventHandle(Event):
+    """A scheduled callback; returned by :meth:`SimClock.schedule` as the
+    cancellation handle (TCP RTO timers keep one per in-flight segment)."""
+
+    __slots__ = ("time", "callback", "args")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple) -> None:
+        self.cancelled = False
+        self.time = time
+        self.callback = callback
+        self.args = args
+
+    def fire(self) -> None:
+        self.callback(*self.args)
+
 
 class SimClock:
-    """Priority-queue event scheduler with deterministic tie-breaking.
+    """Binary-heap event scheduler with deterministic tie-breaking."""
 
-    Events scheduled for the same instant run in scheduling order, which
-    keeps packet deliveries deterministic — important because several
-    evasion strategies depend on the *order* in which a garbage packet and
-    the real data reach the GFW.
-    """
+    __slots__ = ("_now", "_seq", "_queue")
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = start
-        self._sequence = itertools.count()
-        self._queue: List[Tuple[float, int, EventHandle, Callable[..., Any], tuple]] = []
+        self._seq = 0
+        self._queue: List[Tuple[float, int, Event]] = []
 
     @property
     def now(self) -> float:
@@ -51,10 +83,9 @@ class SimClock:
         """Run ``callback(*args)`` after ``delay`` seconds of sim time."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        handle = EventHandle(self._now + delay)
-        heapq.heappush(
-            self._queue, (handle.time, next(self._sequence), handle, callback, args)
-        )
+        handle = EventHandle(self._now + delay, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, (handle.time, self._seq, handle))
         return handle
 
     def schedule_at(
@@ -63,22 +94,36 @@ class SimClock:
         """Run ``callback(*args)`` at absolute sim time ``when``."""
         return self.schedule(max(0.0, when - self._now), callback, *args)
 
+    def post(self, delay: float, event: Any) -> None:
+        """Enqueue a pre-built event (``cancelled`` attr + ``fire()``).
+
+        The zero-allocation path: no handle is created, so the caller owns
+        cancellation (a never-cancelled event can expose ``cancelled`` as
+        a class attribute).  ``delay`` must be non-negative; the hot paths
+        that use this compute it from hop distances, which are.
+        """
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
     def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
         """Process events until the queue drains or ``until`` is reached.
 
         Returns the number of events executed.  ``max_events`` guards
         against runaway retransmission loops in buggy experiment setups.
         """
+        queue = self._queue
+        pop = heapq.heappop
         executed = 0
-        while self._queue and executed < max_events:
-            time, _seq, handle, callback, args = self._queue[0]
+        while queue and executed < max_events:
+            time = queue[0][0]
             if until is not None and time > until:
                 break
-            heapq.heappop(self._queue)
-            self._now = max(self._now, time)
-            if handle.cancelled:
+            event = pop(queue)[2]
+            if time > self._now:
+                self._now = time
+            if event.cancelled:
                 continue
-            callback(*args)
+            event.fire()
             executed += 1
         if until is not None and self._now < until:
             self._now = until
@@ -90,4 +135,14 @@ class SimClock:
 
     def pending(self) -> int:
         """Number of queued (possibly cancelled) events."""
-        return sum(1 for _, _, handle, _, _ in self._queue if not handle.cancelled)
+        return sum(1 for _, _, event in self._queue if not event.cancelled)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Drop all queued events and rewind to ``start``.
+
+        In-place, so every object holding this clock (TCP stacks, GFW
+        devices, the network) stays valid across scenario reuse.
+        """
+        self._queue.clear()
+        self._now = start
+        self._seq = 0

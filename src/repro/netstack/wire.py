@@ -255,11 +255,8 @@ def transport_bytes(packet: IPPacket) -> bytes:
 
 def tcp_wire_length(segment: TCPSegment) -> int:
     """The serialized length of ``segment`` without serializing it."""
-    return (
-        TCP_MIN_HEADER_LEN
-        + len(serialize_options(segment.options))
-        + len(segment.payload)
-    )
+    options_len = len(serialize_options(segment.options)) if segment.options else 0
+    return TCP_MIN_HEADER_LEN + options_len + len(segment.payload)
 
 
 def parse_ip(blob: bytes) -> IPPacket:
@@ -321,8 +318,13 @@ def wire_lengths(packet: IPPacket) -> Tuple[int, int]:
     """Return ``(emitted_total_length, actual_total_length)`` for a packet.
 
     A mismatch is the Table 3 "IP total length > actual length" anomaly.
+    Lengths are computed arithmetically — every endpoint checks them on
+    every delivered packet, and serializing (which also checksums the
+    payload) just to take ``len()`` used to dominate the receive path.
     """
-    actual = IP_HEADER_LEN + len(transport_bytes(packet))
+    from repro.netstack.packet import transport_length
+
+    actual = IP_HEADER_LEN + transport_length(packet)
     emitted = (
         packet.total_length_override
         if packet.total_length_override is not None

@@ -67,11 +67,22 @@ class ReceiveBuffer:
             return b""  # entirely beyond the window
         if offset + len(data) > self.window:
             data = data[: self.window - offset]
-        for i, value in enumerate(data):
-            position = offset + i
-            if position in self._pending and self.policy is OverlapPolicy.FIRST_WINS:
-                continue
-            self._pending[position] = value
+        if offset == 0 and not self._pending:
+            # In-order data with nothing queued — the overwhelmingly
+            # common case.  The overlap policy cannot matter (there is
+            # nothing to conflict with), so skip the byte map entirely.
+            self.rcv_nxt = (self.rcv_nxt + len(data)) & 0xFFFFFFFF
+            self.delivered_bytes += len(data)
+            return data
+        pending = self._pending
+        if self.policy is OverlapPolicy.FIRST_WINS:
+            for i, value in enumerate(data):
+                position = offset + i
+                if position not in pending:
+                    pending[position] = value
+        else:
+            for i, value in enumerate(data):
+                pending[offset + i] = value
         return self._drain()
 
     def _drain(self) -> bytes:

@@ -315,25 +315,17 @@ class TCPConnection:
         # -- universal ignore paths (any state, any flags) -----------------
         if not self._universal_checks_pass(packet, segment):
             return
-        handler = {
-            TCPState.SYN_SENT: self._in_syn_sent,
-            TCPState.SYN_RECV: self._in_syn_recv,
-            TCPState.ESTABLISHED: self._in_established,
-            TCPState.FIN_WAIT_1: self._in_established,
-            TCPState.FIN_WAIT_2: self._in_established,
-            TCPState.CLOSE_WAIT: self._in_established,
-            TCPState.LAST_ACK: self._in_closing_states,
-            TCPState.CLOSING: self._in_closing_states,
-            TCPState.TIME_WAIT: self._in_time_wait,
-        }.get(self.tcb.state)
+        handler = self._STATE_DISPATCH.get(self.tcb.state)
         if handler is not None:
-            handler(packet, segment, now)
+            handler(self, packet, segment, now)
 
     def _universal_checks_pass(self, packet: IPPacket, segment: TCPSegment) -> bool:
-        emitted, actual = wire_lengths(packet)
-        if emitted > actual:
-            self._drop(DropReason.IP_LENGTH_MISMATCH, f"{emitted}>{actual}")
-            return False
+        if packet.total_length_override is not None:
+            # Only an explicit override can make emitted != actual.
+            emitted, actual = wire_lengths(packet)
+            if emitted > actual:
+                self._drop(DropReason.IP_LENGTH_MISMATCH, f"{emitted}>{actual}")
+                return False
         if segment.data_offset_override is not None and segment.data_offset_override < 5:
             self._drop(DropReason.BAD_TCP_HEADER_LEN)
             return False
@@ -592,6 +584,21 @@ class TCPConnection:
         )
 
 
+# Built once: segment_arrived dispatches per packet, so the table must not
+# be rebuilt per call (entries are unbound methods, called with self).
+TCPConnection._STATE_DISPATCH = {
+    TCPState.SYN_SENT: TCPConnection._in_syn_sent,
+    TCPState.SYN_RECV: TCPConnection._in_syn_recv,
+    TCPState.ESTABLISHED: TCPConnection._in_established,
+    TCPState.FIN_WAIT_1: TCPConnection._in_established,
+    TCPState.FIN_WAIT_2: TCPConnection._in_established,
+    TCPState.CLOSE_WAIT: TCPConnection._in_established,
+    TCPState.LAST_ACK: TCPConnection._in_closing_states,
+    TCPState.CLOSING: TCPConnection._in_closing_states,
+    TCPState.TIME_WAIT: TCPConnection._in_time_wait,
+}
+
+
 class TCPHost:
     """Demultiplexes TCP packets on one :class:`~repro.netsim.node.Host`.
 
@@ -619,6 +626,27 @@ class TCPHost:
         self.stray_rsts_sent = 0
         self._ephemeral_port = 32768
         host.register_handler(self._on_packet)
+
+    def reset(
+        self,
+        profile: Optional[StackProfile] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """Restore pristine state in place (scenario reuse between trials).
+
+        The owning :class:`Host` must have been reset first (dropping the
+        old packet handler); this re-registers ``_on_packet`` so handler
+        order matches a freshly constructed stack.
+        """
+        if profile is not None:
+            self.profile = profile
+        self.rng = rng or random.Random(hash(self.host.ip) & 0xFFFFFFFF)
+        self.connections.clear()
+        self.listeners.clear()
+        self.drops.clear()
+        self.stray_rsts_sent = 0
+        self._ephemeral_port = 32768
+        self.host.register_handler(self._on_packet)
 
     # -- API ----------------------------------------------------------------
     def listen(
@@ -684,9 +712,11 @@ class TCPHost:
 
     # -- packet entry ---------------------------------------------------------
     def _on_packet(self, packet: IPPacket, now: float) -> bool:
-        if not packet.is_tcp or packet.dst != self.host.ip:
+        # Unrolled is_tcp/tcp property pair: this runs for every packet
+        # delivered to the host.
+        segment = packet.payload
+        if segment.__class__ is not TCPSegment or packet.dst != self.host.ip:
             return False
-        segment = packet.tcp
         key = (segment.dst_port, packet.src, segment.src_port)
         connection = self.connections.get(key)
         if connection is not None:
