@@ -13,6 +13,9 @@
         --out profile.pstats                # cProfile one cell
     python -m repro telemetry diagnose --strategy resync-desync
     python -m repro telemetry metrics --json # registry snapshot of a sweep
+    python -m repro conformance run         # full differential matrix
+    python -m repro conformance diff        # show drift vs tests/golden/
+    python -m repro conformance bless       # accept new golden artifacts
 
 Everything prints to stdout; sizes are small by default so each command
 finishes in seconds.
@@ -30,7 +33,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     from repro.strategies.registry import STRATEGY_REGISTRY
 
     print("Artifacts: table1 table2 table3 table4 table5 table6 matrix "
-          "probe trial ladder")
+          "probe trial ladder conformance")
     print("\nStrategies:")
     for strategy_id in sorted(STRATEGY_REGISTRY):
         print(f"  {strategy_id}")
@@ -306,6 +309,153 @@ def _perf_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    if args.mode == "run":
+        return _conformance_run(args)
+    if args.mode == "diff":
+        return _conformance_diff(args)
+    return _conformance_bless(args)
+
+
+def _conformance_cells(args: argparse.Namespace):
+    from repro.conformance import default_cells
+
+    split = lambda value: value.split(",") if value else None  # noqa: E731
+    return default_cells(
+        strategies=split(args.strategies),
+        variants=split(args.variants),
+        profiles=split(args.profiles),
+        faults=split(args.faults),
+    )
+
+
+def _conformance_matrix(args: argparse.Namespace):
+    from repro.conformance import run_matrix
+
+    cells = _conformance_cells(args)
+    print(f"conformance: running {len(cells)} cells "
+          f"x {args.repeats} repeats (seed {args.seed})", file=sys.stderr)
+    return run_matrix(
+        cells, repeats=args.repeats, seed=args.seed, workers=args.workers
+    )
+
+
+def _conformance_golden_dir(args: argparse.Namespace):
+    from pathlib import Path
+
+    from repro.conformance import golden_dir
+
+    return Path(args.golden_dir) if args.golden_dir else golden_dir()
+
+
+def _conformance_diagnose_drift(drifts, results, limit: int, seed: int) -> None:
+    """Explain drifted cells through the telemetry diagnosis layer."""
+    from repro.conformance.matrix import (
+        cell_calibration,
+        conformance_site,
+        profile_vantage,
+    )
+    from repro.telemetry import diagnose_trial
+
+    for drift in drifts[:limit]:
+        cell = results[drift.cell_id].cell
+        diagnosis = diagnose_trial(
+            profile_vantage(cell.profile),
+            conformance_site(),
+            cell.strategy_id,
+            cell_calibration(cell.fault),
+            seed=(seed * 1_000_003) ^ cell.seed_salt(),
+            gfw_variant=cell.gfw_variant,
+        )
+        print(f"\n== diagnosis: {drift.cell_id} " + "=" * 30)
+        print(diagnosis.render())
+    if len(drifts) > limit:
+        print(f"\n({len(drifts) - limit} more drifted cells not diagnosed; "
+              f"raise --max-diagnose)", file=sys.stderr)
+
+
+def _conformance_report(results, args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.conformance import check_verdicts, compare_golden
+    from repro.conformance.oracles import KNOWN_DIVERGENCE
+
+    drifts, uncovered = check_verdicts(results)
+    diff = compare_golden(results, _conformance_golden_dir(args),
+                          seed=args.seed)
+
+    if args.json:
+        print(json_module.dumps(
+            {cid: r.as_payload() for cid, r in sorted(results.items())},
+            indent=2,
+        ))
+    else:
+        counts: dict = {}
+        for result in results.values():
+            counts[result.verdict] = counts.get(result.verdict, 0) + 1
+        summary = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(f"conformance: {len(results)} cells  {summary}")
+        noted = [
+            entry for entry in KNOWN_DIVERGENCE
+            if any(entry.matches(r.cell) for r in results.values())
+        ]
+        for entry in noted:
+            print(
+                f"known divergence: {entry.strategy}|{entry.variant}"
+                f"|{entry.profile}|{entry.fault}: paper "
+                f"{entry.paper_expected!r} -> repro {entry.repro_verdict!r} "
+                f"({entry.reason})"
+            )
+
+    failed = False
+    if uncovered:
+        failed = True
+        print(f"\noracle coverage FAILED: {len(uncovered)} cells matched "
+              "no rule:")
+        for cell_id in uncovered[:20]:
+            print(f"  {cell_id}")
+    if drifts:
+        failed = True
+        print(f"\nverdict drift vs oracle: {len(drifts)} cells:")
+        for drift in drifts:
+            print("  " + drift.format())
+        _conformance_diagnose_drift(drifts, results, args.max_diagnose,
+                                    args.seed)
+    if not diff.clean:
+        failed = True
+        print("\n" + diff.format())
+        print("\n(after reviewing, `repro conformance bless` accepts the "
+              "new behaviour)", file=sys.stderr)
+    if not failed:
+        print("conformance: PASS (oracle + golden snapshot + ladders)")
+    return 1 if failed else 0
+
+
+def _conformance_run(args: argparse.Namespace) -> int:
+    return _conformance_report(_conformance_matrix(args), args)
+
+
+def _conformance_diff(args: argparse.Namespace) -> int:
+    from repro.conformance import compare_golden
+
+    results = _conformance_matrix(args)
+    diff = compare_golden(results, _conformance_golden_dir(args),
+                          seed=args.seed)
+    print(diff.format(max_ladder_lines=args.max_ladder_lines))
+    return 0 if diff.clean else 1
+
+
+def _conformance_bless(args: argparse.Namespace) -> int:
+    from repro.conformance import bless
+
+    results = _conformance_matrix(args)
+    written = bless(results, _conformance_golden_dir(args),
+                    seed=args.seed, repeats=args.repeats)
+    for path in written:
+        print(f"blessed {path}")
+    return 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     if args.mode == "diagnose":
         return _telemetry_diagnose(args)
@@ -439,6 +589,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also dump raw pstats here (e.g. profile.pstats)")
 
     p = sub.add_parser(
+        "conformance",
+        help="differential conformance matrix: run, diff, or bless",
+    )
+    p.add_argument("mode", choices=("run", "diff", "bless"))
+    p.add_argument("--strategies", default=None,
+                   help="comma-separated strategy ids (default: all)")
+    p.add_argument("--variants", default=None,
+                   help="comma-separated GFW model variants (default: all)")
+    p.add_argument("--profiles", default=None,
+                   help="comma-separated middlebox profiles "
+                        "(default: neutral,aliyun,unicom-tj)")
+    p.add_argument("--faults", default=None,
+                   help="comma-separated fault-grid points "
+                        "(default: clean,lossy)")
+    p.add_argument("--repeats", type=int, default=6,
+                   help="trials per cell (verdict majority base)")
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: REPRO_WORKERS)")
+    p.add_argument("--golden-dir", default=None,
+                   help="override the tests/golden/ directory")
+    p.add_argument("--json", action="store_true",
+                   help="[run] print the verdict map as JSON")
+    p.add_argument("--max-diagnose", type=int, default=3,
+                   help="[run] drifted cells to explain via telemetry "
+                        "diagnosis")
+    p.add_argument("--max-ladder-lines", type=int, default=40,
+                   help="[diff] ladder-diff lines to show per cell")
+
+    p = sub.add_parser(
         "telemetry",
         help="diagnose one trial or dump a sweep's metrics registry",
     )
@@ -479,6 +659,7 @@ _COMMANDS = {
     "trial": _cmd_trial,
     "ladder": _cmd_ladder,
     "perf": _cmd_perf,
+    "conformance": _cmd_conformance,
     "telemetry": _cmd_telemetry,
 }
 

@@ -1,0 +1,293 @@
+"""Conformance-matrix enumeration and execution.
+
+One **cell** is ``(strategy, gfw_variant, middlebox_profile, fault
+point)``.  The harness runs every cell through the ordinary
+scenario/runner machinery (:func:`repro.experiments.runner.
+_simulate_http_trial` with the ``gfw_variant`` override) and reduces the
+repeats to a discrete **verdict**:
+
+- ``evades``  — at least half the repeats succeeded;
+- ``blocked`` — a majority ended in Failure 2 (GFW resets);
+- ``broken``  — a majority ended in Failure 1 (silence: the strategy
+  itself kills the connection, e.g. Aliyun discarding fragments);
+- ``mixed``   — none of the above holds (genuinely probabilistic cell).
+
+The historical-result cache is deliberately bypassed (cells call the
+simulation directly): conformance asks "what does the *code* do today",
+never "what did it do last week".  Scenario reuse and the process pool
+are exercised on purpose — worker-count independence is itself part of
+the contract under test.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.calibration import CLEAN_ROOM, Calibration
+from repro.experiments.parallel import map_trials
+from repro.experiments.vantage import VantagePoint, vantage_by_name
+from repro.experiments.websites import Website, outside_china_catalog
+from repro.gfw.models import MODEL_VARIANTS, model_variant_configs
+from repro.strategies.registry import STRATEGY_REGISTRY
+
+__all__ = [
+    "CONFORMANCE_PROFILES",
+    "ConformanceCell",
+    "CellResult",
+    "DEFAULT_REPEATS",
+    "DEFAULT_SEED",
+    "FAULT_GRID",
+    "FaultPoint",
+    "cell_calibration",
+    "classify_counts",
+    "default_cells",
+    "fault_by_name",
+    "profile_vantage",
+    "run_cell",
+    "run_matrix",
+]
+
+#: Matrix-wide defaults; the CLI exposes both as flags.
+DEFAULT_REPEATS = 6
+DEFAULT_SEED = 2017
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One point of the loss/jitter fault grid (``Network`` knobs)."""
+
+    name: str
+    loss_rate: float
+    jitter: float
+
+
+#: The fault grid: a clean network and a degraded one.  The degraded
+#: point stresses the retransmission paths without drowning the verdict
+#: in noise (10 % per-leg drop at 6 repeats would make every cell
+#: ``mixed``).
+FAULT_GRID: Tuple[FaultPoint, ...] = (
+    FaultPoint("clean", loss_rate=0.0, jitter=0.0),
+    FaultPoint("lossy", loss_rate=0.02, jitter=0.15),
+)
+
+#: A lab vantage with no client-side middleboxes: the pure
+#: strategy-vs-censor differential, uncontaminated by Table 2 equipment.
+NEUTRAL_VANTAGE = VantagePoint(
+    name="conformance-neutral",
+    city="Beijing",
+    isp="Lab",
+    provider_profile="transparent",
+    ip="42.120.99.10",
+    tor_filtered=False,
+)
+
+#: profile key -> vantage carrying it.  ``neutral`` is the lab vantage;
+#: the others are the real Table 2 profiles via their vantage points.
+_PROFILE_VANTAGE_NAMES: Dict[str, Optional[str]] = {
+    "neutral": None,
+    "aliyun": "aliyun-beijing",
+    "qcloud": "qcloud-beijing",
+    "unicom-sjz": "unicom-shijiazhuang",
+    "unicom-tj": "unicom-tianjin",
+}
+
+#: The default matrix covers the no-middlebox baseline plus the two
+#: most behaviour-bending profiles (Aliyun's fragment DISCARD and
+#: Tianjin's sanitizers, §7.1/Table 5).
+CONFORMANCE_PROFILES: Tuple[str, ...] = ("neutral", "aliyun", "unicom-tj")
+
+
+def profile_vantage(profile: str) -> VantagePoint:
+    """The vantage point that carries a named middlebox profile."""
+    try:
+        name = _PROFILE_VANTAGE_NAMES[profile]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILE_VANTAGE_NAMES))
+        raise KeyError(
+            f"unknown conformance profile {profile!r} (known: {known})"
+        ) from None
+    if name is None:
+        return NEUTRAL_VANTAGE
+    return vantage_by_name(name)
+
+
+def fault_by_name(name: str) -> FaultPoint:
+    for fault in FAULT_GRID:
+        if fault.name == name:
+            return fault
+    known = ", ".join(f.name for f in FAULT_GRID)
+    raise KeyError(f"unknown fault point {name!r} (known: {known})")
+
+
+@dataclass(frozen=True)
+class ConformanceCell:
+    """One cell of the conformance matrix (picklable work unit)."""
+
+    strategy_id: str
+    gfw_variant: str
+    profile: str
+    fault: FaultPoint
+
+    @property
+    def cell_id(self) -> str:
+        return (
+            f"{self.strategy_id}|{self.gfw_variant}"
+            f"|{self.profile}|{self.fault.name}"
+        )
+
+    def seed_salt(self) -> int:
+        """Interpreter-stable (crc32, not ``hash``) per-cell seed salt."""
+        return zlib.crc32(self.cell_id.encode("utf-8")) & 0xFFFFFF
+
+
+@dataclass
+class CellResult:
+    """The observed counts and reduced verdict of one cell."""
+
+    cell: ConformanceCell
+    success: int = 0
+    failure1: int = 0
+    failure2: int = 0
+
+    @property
+    def trials(self) -> int:
+        return self.success + self.failure1 + self.failure2
+
+    @property
+    def verdict(self) -> str:
+        return classify_counts(self.success, self.failure1, self.failure2)
+
+    def as_payload(self) -> Dict:
+        """A JSON-representable image (golden verdict snapshot rows)."""
+        return {
+            "verdict": self.verdict,
+            "success": self.success,
+            "failure1": self.failure1,
+            "failure2": self.failure2,
+        }
+
+
+def classify_counts(success: int, failure1: int, failure2: int) -> str:
+    """Reduce repeat counts to a verdict (ties resolve toward evasion
+    first, then blocking — a 50 % evader still evades in expectation)."""
+    trials = success + failure1 + failure2
+    if trials == 0:
+        return "mixed"
+    if 2 * success >= trials:
+        return "evades"
+    if 2 * failure2 > trials:
+        return "blocked"
+    if 2 * failure1 > trials:
+        return "broken"
+    return "mixed"
+
+
+def cell_calibration(fault: FaultPoint) -> Calibration:
+    """The clean-room calibration dialled to one fault-grid point.
+
+    Everything stochastic that is *not* the fault under test stays
+    zeroed, so a verdict flip can only come from the strategy, the
+    censor variant, the middlebox profile, or the injected fault.
+    """
+    return CLEAN_ROOM.variant(
+        base_loss_rate=fault.loss_rate,
+        path_jitter=fault.jitter,
+    )
+
+
+def conformance_site() -> Website:
+    """The single fixed target site every cell fetches from."""
+    return outside_china_catalog(count=1, seed=2017, calibration=CLEAN_ROOM)[0]
+
+
+def default_cells(
+    strategies: Optional[Sequence[str]] = None,
+    variants: Optional[Sequence[str]] = None,
+    profiles: Optional[Sequence[str]] = None,
+    faults: Optional[Sequence[str]] = None,
+) -> List[ConformanceCell]:
+    """Enumerate the matrix in deterministic (registry) order."""
+    strategy_ids = list(strategies or STRATEGY_REGISTRY)
+    variant_ids = list(variants or MODEL_VARIANTS)
+    profile_ids = list(profiles or CONFORMANCE_PROFILES)
+    fault_points = [fault_by_name(name) for name in faults] if faults else list(FAULT_GRID)
+    for strategy_id in strategy_ids:
+        if strategy_id not in STRATEGY_REGISTRY:
+            known = ", ".join(sorted(STRATEGY_REGISTRY))
+            raise KeyError(f"unknown strategy {strategy_id!r} (known: {known})")
+    for variant in variant_ids:
+        model_variant_configs(variant)  # raises with the known list
+    for profile in profile_ids:
+        profile_vantage(profile)
+    return [
+        ConformanceCell(strategy_id, variant, profile, fault)
+        for strategy_id in strategy_ids
+        for variant in variant_ids
+        for profile in profile_ids
+        for fault in fault_points
+    ]
+
+
+def run_cell(
+    cell: ConformanceCell,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+) -> CellResult:
+    """Run one cell's repeats serially and reduce them to counts.
+
+    Imports the runner lazily so the module stays importable in
+    process-pool workers without dragging the app stack in at
+    enumeration time.
+    """
+    from repro.experiments.runner import Outcome, _simulate_http_trial
+
+    vantage = profile_vantage(cell.profile)
+    website = conformance_site()
+    calibration = cell_calibration(cell.fault)
+    salt = cell.seed_salt()
+    result = CellResult(cell=cell)
+    for repeat in range(repeats):
+        record, _scenario = _simulate_http_trial(
+            vantage,
+            website,
+            cell.strategy_id,
+            calibration,
+            seed=(seed * 1_000_003 + repeat) ^ salt,
+            keyword=True,
+            gfw_variant=cell.gfw_variant,
+        )
+        if record.outcome is Outcome.SUCCESS:
+            result.success += 1
+        elif record.outcome is Outcome.FAILURE1:
+            result.failure1 += 1
+        else:
+            result.failure2 += 1
+    return result
+
+
+def _cell_worker(task: Tuple) -> CellResult:
+    """Process-pool work unit: one full cell."""
+    cell, repeats, seed = task
+    return run_cell(cell, repeats=repeats, seed=seed)
+
+
+def run_matrix(
+    cells: Optional[Sequence[ConformanceCell]] = None,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
+) -> Dict[str, CellResult]:
+    """Run the matrix (fanned out a cell at a time), keyed by cell id.
+
+    Per-cell seeds are fixed before fan-out, so the verdict map is
+    identical for any worker count.
+    """
+    if cells is None:
+        cells = default_cells()
+    tasks = [(cell, repeats, seed) for cell in cells]
+    results = map_trials(
+        _cell_worker, tasks, workers=workers, trials_per_task=repeats
+    )
+    return {result.cell.cell_id: result for result in results}

@@ -83,6 +83,11 @@ class Calibration:
     #: unresponsive" tail and transient congestion).
     burst_loss_probability: float = 0.012
     burst_loss_rate: float = 0.45
+    #: Per-segment delay jitter as a fraction of the nominal per-hop
+    #: delay (see :class:`repro.netsim.network.Path`).  Zero in the
+    #: paper-default environment; the conformance fault grid sweeps it to
+    #: exercise reordering under the same verdict oracles.
+    path_jitter: float = 0.0
 
     # -- client-side equipment ---------------------------------------------------
     #: §3.4: some NAT/state-checking firewalls adopt insertion packets

@@ -194,14 +194,16 @@ def _simulate_http_trial(
     keyword: bool = True,
     selector: Optional[StrategySelector] = None,
     trace: bool = False,
+    gfw_variant: Optional[str] = None,
 ) -> Tuple[TrialRecord, Scenario]:
     """Simulate one HTTP trial from scratch, returning the record *and*
     the finished scenario (for diagnosis; the cache layer above discards
     it).  ``trace=True`` turns on the packet trace recorder, whose events
-    also land on the telemetry bus when that is enabled."""
+    also land on the telemetry bus when that is enabled.  ``gfw_variant``
+    forces a named installation variant (conformance cells)."""
     scenario = acquire_scenario(
         vantage=vantage, website=website, calibration=calibration,
-        seed=seed, workload="http", trace=trace,
+        seed=seed, workload="http", trace=trace, gfw_variant=gfw_variant,
     )
     intang = INTANG(
         host=scenario.client,

@@ -34,7 +34,12 @@ from repro.gfw.active_prober import ActiveProber
 from repro.gfw.cluster import GFWCluster
 from repro.gfw.device import GFWDevice
 from repro.gfw.dns_poisoner import DNSPoisoner
-from repro.gfw.models import GFWConfig, evolved_config, old_config
+from repro.gfw.models import (
+    GFWConfig,
+    evolved_config,
+    model_variant_configs,
+    old_config,
+)
 from repro.apps.http import HTTPServer
 from repro.apps.dns import DNSTcpResolver, DNSUdpResolver
 from repro.apps.tor import TorBridge
@@ -247,6 +252,7 @@ def build_scenario(
     trace: bool = False,
     force_firewall: Optional[bool] = None,
     firewall_teardown_probability: float = 1.0,
+    gfw_variant: Optional[str] = None,
     reuse: Optional[Scenario] = None,
 ) -> Scenario:
     """Build one trial topology.
@@ -254,6 +260,12 @@ def build_scenario(
     ``workload`` is one of ``http``, ``dns``, ``tor``, ``vpn``.  The
     server end is the website (http), the resolver (dns), a Tor bridge,
     or a VPN server.
+
+    ``gfw_variant`` forces the installation to a named model variant from
+    :data:`repro.gfw.models.MODEL_VARIANT_FACTORIES` instead of drawing
+    the device composition from the calibration's population fractions —
+    the conformance harness uses this so a matrix cell's verdict is a
+    pure function of (strategy, variant, profile, fault point, seed).
 
     ``reuse`` hands back a previous scenario for the same endpoints whose
     heavy objects (clock, network, hosts, path, TCP stacks) are reset and
@@ -303,6 +315,7 @@ def build_scenario(
             hop_count=hop_count,
             base_delay=base_delay,
             loss_rate=_draw_loss_rate(rng, calibration),
+            jitter=calibration.path_jitter,
         )
         network.add_path(path)
     else:
@@ -317,7 +330,10 @@ def build_scenario(
         server.reset()
         path = reuse.path
         path.clear_elements()
-        path.reconfigure(hop_count, base_delay, _draw_loss_rate(rng, calibration))
+        path.reconfigure(
+            hop_count, base_delay, _draw_loss_rate(rng, calibration),
+            jitter=calibration.path_jitter,
+        )
 
     # -- client-side middleboxes (Table 2) --------------------------------
     for box in vantage.middleboxes.build_boxes(
@@ -352,7 +368,17 @@ def build_scenario(
     if censored_path:
         prober = ActiveProber(clock)
         poisoner = DNSPoisoner()
-        for index, config in enumerate(_gfw_configs(rng, calibration, vantage)):
+        if gfw_variant is not None:
+            # Forced installation: exact configs, no population draws.
+            # Fresh instances per build, so per-scenario mutation below
+            # cannot leak across matrix cells.
+            configs = model_variant_configs(gfw_variant)
+            for config in configs:
+                config.miss_probability = calibration.gfw_miss_probability
+                config.rules.detect_tor = vantage.tor_filtered
+        else:
+            configs = _gfw_configs(rng, calibration, vantage)
+        for index, config in enumerate(configs):
             device = GFWDevice(
                 name=f"gfw-{config.model}-t{config.reset_type}-{index}",
                 hop=gfw_hop,
@@ -413,6 +439,7 @@ def build_scenario(
             trace=trace,
             force_firewall=force_firewall,
             firewall_teardown_probability=firewall_teardown_probability,
+            gfw_variant=gfw_variant,
         ),
     )
 
@@ -472,6 +499,7 @@ def acquire_scenario(
     trace: bool = False,
     force_firewall: Optional[bool] = None,
     firewall_teardown_probability: float = 1.0,
+    gfw_variant: Optional[str] = None,
 ) -> Scenario:
     """:func:`build_scenario`, but reusing pooled topology objects per cell.
 
@@ -496,6 +524,7 @@ def acquire_scenario(
             trace=trace,
             force_firewall=force_firewall,
             firewall_teardown_probability=firewall_teardown_probability,
+            gfw_variant=gfw_variant,
         )
     key = (vantage.ip, vantage.name, target.ip, target.name)
     pooled = _SCENARIO_POOL.pop(key, None)
@@ -513,6 +542,7 @@ def acquire_scenario(
         trace=trace,
         force_firewall=force_firewall,
         firewall_teardown_probability=firewall_teardown_probability,
+        gfw_variant=gfw_variant,
         reuse=pooled,
     )
     _SCENARIO_POOL[key] = scenario

@@ -23,7 +23,15 @@ from repro.gfw.dpi import StreamInspector
 from repro.gfw.flow import GFWFlow, GFWFlowState
 from repro.gfw.resets import ResetInjector
 from repro.gfw.blacklist import Blacklist
-from repro.gfw.models import GFWConfig, OLD_GFW, EVOLVED_GFW, evolved_config, old_config
+from repro.gfw.models import (
+    EVOLVED_GFW,
+    GFWConfig,
+    MODEL_VARIANTS,
+    OLD_GFW,
+    evolved_config,
+    model_variant_configs,
+    old_config,
+)
 from repro.gfw.cluster import GFWCluster
 from repro.gfw.device import GFWDevice
 from repro.gfw.dns_poisoner import DNSPoisoner
@@ -39,9 +47,11 @@ __all__ = [
     "ResetInjector",
     "Blacklist",
     "GFWConfig",
+    "MODEL_VARIANTS",
     "OLD_GFW",
     "EVOLVED_GFW",
     "evolved_config",
+    "model_variant_configs",
     "old_config",
     "GFWCluster",
     "GFWDevice",

@@ -11,6 +11,7 @@ real paths).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List
 
 from repro.netstack.fragment import OverlapPolicy
 from repro.gfw.blacklist import DEFAULT_BLACKLIST_DURATION
@@ -120,3 +121,81 @@ def evolved_config(reset_type: int = 2, **changes: object) -> GFWConfig:
 #: Convenience presets.
 OLD_GFW = old_config()
 EVOLVED_GFW = evolved_config()
+
+
+# ---------------------------------------------------------------------------
+# Named model variants (conformance ablations)
+# ---------------------------------------------------------------------------
+#: Named installation variants for the differential conformance harness:
+#: each maps to a factory producing the *exact* device configs of one
+#: installation — no population draws — so a conformance cell's verdict is
+#: a pure function of (strategy, variant, profile, fault point, seed).
+#: The NB ablations flip one §4 finding at a time, which is what makes
+#: the matrix differential: a strategy that exploits NB1 must flip its
+#: verdict between ``evolved`` and ``evolved-nb1-off``.
+MODEL_VARIANT_FACTORIES: Dict[str, Callable[[], List[GFWConfig]]] = {
+    # The model prior work assumed (§3.2); Table 1's strategies were
+    # designed against exactly this state machine.
+    "old": lambda: [old_config(reset_type=1)],
+    # The §4 evolved model with every new behaviour on, but the NB3 coin
+    # pinned heads (RST always resyncs) so the variant is deterministic.
+    "evolved": lambda: [
+        evolved_config(
+            resync_on_rst_probability=1.0,
+            resync_on_rst_handshake_probability=1.0,
+        )
+    ],
+    # NB1 ablation: no TCB from a bare SYN/ACK (§4 "TCB creation").
+    "evolved-nb1-off": lambda: [
+        evolved_config(
+            creates_tcb_on_synack=False,
+            resync_on_rst_probability=1.0,
+            resync_on_rst_handshake_probability=1.0,
+        )
+    ],
+    # NB2 ablation: the RESYNC state does not exist (§4 "resync state").
+    "evolved-nb2-off": lambda: [
+        evolved_config(
+            supports_resync=False,
+            resync_on_rst_probability=0.0,
+            resync_on_rst_handshake_probability=0.0,
+        )
+    ],
+    # NB3 ablation: RST always tears the TCB down, never resyncs.
+    "evolved-nb3-off": lambda: [
+        evolved_config(
+            resync_on_rst_probability=0.0,
+            resync_on_rst_handshake_probability=0.0,
+        )
+    ],
+    # §7.1's reality: both generations co-exist on one path, which is why
+    # the paper combines strategies.  Old device first by hop order is
+    # irrelevant; evolved first so it seeds the cluster NB3 coin.
+    "mixed": lambda: [
+        evolved_config(
+            resync_on_rst_probability=1.0,
+            resync_on_rst_handshake_probability=1.0,
+        ),
+        old_config(reset_type=1),
+    ],
+}
+
+#: Variant names in canonical matrix order.
+MODEL_VARIANTS: List[str] = list(MODEL_VARIANT_FACTORIES)
+
+
+def model_variant_configs(variant: str) -> List[GFWConfig]:
+    """Fresh device configs for a named installation variant.
+
+    A new list of new configs per call — conformance cells mutate
+    ``miss_probability`` and ``rules`` per scenario, so sharing instances
+    across cells would leak state between matrix cells.
+    """
+    try:
+        factory = MODEL_VARIANT_FACTORIES[variant]
+    except KeyError:
+        raise KeyError(
+            f"unknown GFW model variant {variant!r}; "
+            f"known: {sorted(MODEL_VARIANT_FACTORIES)}"
+        ) from None
+    return factory()

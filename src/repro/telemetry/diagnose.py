@@ -172,6 +172,7 @@ def diagnose_trial(
     calibration: Any = None,
     seed: int = 0,
     keyword: bool = True,
+    gfw_variant: Optional[str] = None,
 ) -> TrialDiagnosis:
     """Re-run one HTTP cell with full telemetry and explain its outcome.
 
@@ -179,7 +180,9 @@ def diagnose_trial(
     a cached outcome has no events to explain) and leaves the cache
     untouched.  The bus is force-enabled for the duration via
     :func:`~repro.telemetry.events.capturing`, so this works regardless
-    of ``REPRO_TELEMETRY``.
+    of ``REPRO_TELEMETRY``.  ``gfw_variant`` forces a named installation
+    variant, letting the conformance harness explain a drifted matrix
+    cell with the exact censor configuration that produced it.
     """
     from repro.experiments.calibration import DEFAULT_CALIBRATION
     from repro.experiments.runner import _simulate_http_trial
@@ -193,7 +196,7 @@ def diagnose_trial(
         watermark = bus.next_seq
         record, _scenario = _simulate_http_trial(
             vantage, website, strategy_id, calibration,
-            seed=seed, keyword=keyword, trace=True,
+            seed=seed, keyword=keyword, trace=True, gfw_variant=gfw_variant,
         )
         events = bus.events(since_seq=watermark - 1)
     return TrialDiagnosis(

@@ -293,6 +293,81 @@ def test_acquire_scenario_pools_per_cell(monkeypatch):
     clear_scenario_pool()
 
 
+def test_path_reconfigure_threads_and_validates_jitter():
+    path = Path(
+        client_ip="10.0.0.1", server_ip="10.0.0.2",
+        hop_count=5, base_delay=0.01,
+    )
+    path.reconfigure(hop_count=6, base_delay=0.02, loss_rate=0.1, jitter=0.25)
+    assert path.jitter == 0.25
+    assert path.loss_rate == 0.1
+    # Omitting jitter resets it: a pooled path configured for a jittery
+    # cell must not leak delay noise into the next cell.
+    path.reconfigure(hop_count=6, base_delay=0.02, loss_rate=0.0)
+    assert path.jitter == 0.0
+    with pytest.raises(ValueError):
+        path.reconfigure(hop_count=6, base_delay=0.02, loss_rate=0.0,
+                         jitter=1.0)
+    with pytest.raises(ValueError):
+        path.reconfigure(hop_count=6, base_delay=0.02, loss_rate=0.0,
+                         jitter=-0.1)
+    with pytest.raises(ValueError):
+        path.reconfigure(hop_count=1, base_delay=0.02, loss_rate=0.0)
+    assert path.jitter == 0.0  # failed reconfigure leaves state intact
+
+
+def test_runner_parity_with_reuse_under_loss_and_jitter(monkeypatch):
+    """Extends the zero-fault parity pin above to a degraded path: same
+    seed => identical outcome with scenario reuse on or off, at nonzero
+    loss *and* jitter (the conformance fault grid), under a forced GFW
+    model variant."""
+    from repro.experiments import scenarios
+    from repro.experiments.calibration import CLEAN_ROOM
+    from repro.experiments.runner import _simulate_http_trial
+
+    lossy = CLEAN_ROOM.variant(base_loss_rate=0.08, path_jitter=0.15)
+    vantage, website = _vantage_and_site()
+    records = {}
+    for flag in ("0", "1"):
+        monkeypatch.setenv("REPRO_SCENARIO_REUSE", flag)
+        scenarios.clear_scenario_pool()
+        out = []
+        for seed in range(8):
+            record, scenario = _simulate_http_trial(
+                vantage, website, "tcb-teardown-rst/ttl", lossy,
+                seed=seed, gfw_variant="evolved-nb3-off",
+            )
+            out.append((
+                record.outcome, record.detections, record.diagnosis,
+                scenario.gfw_resets_received(),
+                scenario.path.loss_rate, scenario.path.jitter,
+            ))
+        records[flag] = out
+    scenarios.clear_scenario_pool()
+    assert records["0"] == records["1"]
+    # The fault knobs actually reached the path on every build.
+    assert all(row[-2] == 0.08 and row[-1] == 0.15 for row in records["1"])
+
+
+def test_lossy_ladder_is_seed_deterministic():
+    """Same seed => byte-identical packet ladder even with loss and
+    jitter draws in play (golden-ladder prerequisite)."""
+    from repro.experiments.calibration import CLEAN_ROOM
+    from repro.experiments.runner import _simulate_http_trial
+
+    lossy = CLEAN_ROOM.variant(base_loss_rate=0.08, path_jitter=0.15)
+    vantage, website = _vantage_and_site()
+    ladders = []
+    for _ in range(2):
+        record, scenario = _simulate_http_trial(
+            vantage, website, "resync-desync", lossy,
+            seed=23, trace=True, gfw_variant="evolved",
+        )
+        ladders.append((record.outcome, scenario.trace.format_ladder()))
+    assert ladders[0] == ladders[1]
+    assert ladders[0][1]  # the trace actually recorded something
+
+
 def test_reused_host_handler_order_matches_fresh(monkeypatch):
     """INTANG, the sniffer, and the TCP stack must re-register in the
     same order on a reused host as on a fresh one."""
