@@ -56,10 +56,12 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         with_kw = run_strategy_cell(
             strategy_id, CHINA_VANTAGE_POINTS, sites, DEFAULT_CALIBRATION,
             repeats=args.repeats, seed=args.seed, keyword=True,
+            shards=args.shards,
         )
         without_kw = run_strategy_cell(
             strategy_id, CHINA_VANTAGE_POINTS, sites, DEFAULT_CALIBRATION,
             repeats=args.repeats, seed=args.seed + 1, keyword=False,
+            shards=args.shards,
         )
         results.append((label, discrepancy, with_kw, without_kw))
         print(".", end="", flush=True, file=sys.stderr)
@@ -103,14 +105,14 @@ def _cmd_table4(args: argparse.Namespace) -> int:
             label,
             run_table4_row(strategy_id, CHINA_VANTAGE_POINTS, sites,
                            DEFAULT_CALIBRATION, repeats=args.repeats,
-                           seed=args.seed),
+                           seed=args.seed, shards=args.shards),
         ))
         print(".", end="", flush=True, file=sys.stderr)
     rows.append((
         "INTANG Performance",
         run_table4_row(None, CHINA_VANTAGE_POINTS, sites, DEFAULT_CALIBRATION,
                        repeats=max(4, args.repeats), seed=args.seed,
-                       adaptive=True),
+                       adaptive=True, shards=args.shards),
     ))
     print(file=sys.stderr)
     print(format_table4(rows, title="Table 4 (inside China)"))
@@ -266,7 +268,73 @@ def _cmd_ladder(args: argparse.Namespace) -> int:
 def _cmd_perf(args: argparse.Namespace) -> int:
     if args.mode == "profile":
         return _perf_profile(args)
+    if args.mode == "compare":
+        return _perf_compare(args)
     raise AssertionError(f"unknown perf mode {args.mode!r}")
+
+
+def _perf_rates(document: dict) -> "dict[str, float]":
+    """Extract every throughput figure from a BENCH_perf.json document.
+
+    Covers both the per-bench ``trials_per_second`` field and any
+    ``*_per_second*`` entries inside a bench's ``metrics`` block (the
+    netsim packet rates, the reuse-on/off trial rates).  Zero rates are
+    bookkeeping-only benches and are skipped.
+    """
+    rates: dict = {}
+    for entry in document.get("benches", []):
+        name = entry.get("bench", "?")
+        tps = entry.get("trials_per_second") or 0.0
+        if tps > 0:
+            rates[name] = float(tps)
+        for metric, value in (entry.get("metrics") or {}).items():
+            if "per_second" in metric and isinstance(value, (int, float)) and value > 0:
+                rates[f"{name}::{metric}"] = float(value)
+    return rates
+
+
+def _perf_compare(args: argparse.Namespace) -> int:
+    """Gate a candidate BENCH_perf.json against a committed baseline.
+
+    Exits non-zero when any bench's throughput dropped by more than
+    ``--threshold`` (fractional; default 0.30).  Benches present in only
+    one document are reported but never fail the gate — the bench suite
+    is allowed to grow and shrink across commits.
+    """
+    import json as json_module
+
+    if len(args.files) != 2:
+        print("usage: repro perf compare BASELINE.json CANDIDATE.json",
+              file=sys.stderr)
+        return 2
+    with open(args.files[0], "r", encoding="utf-8") as handle:
+        baseline = _perf_rates(json_module.load(handle))
+    with open(args.files[1], "r", encoding="utf-8") as handle:
+        candidate = _perf_rates(json_module.load(handle))
+    threshold = args.threshold
+    regressions = []
+    for name in sorted(set(baseline) | set(candidate)):
+        base = baseline.get(name)
+        cand = candidate.get(name)
+        if base is None or cand is None:
+            which = "candidate" if base is None else "baseline"
+            print(f"  only-in-{which}: {name}")
+            continue
+        change = (cand - base) / base
+        regressed = cand < base * (1.0 - threshold)
+        marker = "REGRESSION" if regressed else "ok"
+        print(f"  {marker:>10}  {name}: {base:.1f} -> {cand:.1f} ({change:+.1%})")
+        if regressed:
+            regressions.append(name)
+    if regressions:
+        print(
+            f"perf compare: {len(regressions)} bench(es) regressed more than "
+            f"{threshold:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf compare: OK (threshold {threshold:.0%})", file=sys.stderr)
+    return 0
 
 
 def _perf_profile(args: argparse.Namespace) -> int:
@@ -336,7 +404,8 @@ def _conformance_matrix(args: argparse.Namespace):
     print(f"conformance: running {len(cells)} cells "
           f"x {args.repeats} repeats (seed {args.seed})", file=sys.stderr)
     return run_matrix(
-        cells, repeats=args.repeats, seed=args.seed, workers=args.workers
+        cells, repeats=args.repeats, seed=args.seed, workers=args.workers,
+        shards=getattr(args, "shards", None),
     )
 
 
@@ -541,6 +610,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sites", type=int, default=12)
         p.add_argument("--repeats", type=int, default=1)
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--shards", type=int, default=None,
+                       help="persistent shard runner: contiguous work "
+                            "slices per worker (default: per-window dispatch)")
 
     sub.add_parser("table2", help="regenerate table 2")
     sub.add_parser("table3", help="regenerate table 3")
@@ -571,7 +643,13 @@ def build_parser() -> argparse.ArgumentParser:
         "perf",
         help="profile one experiment cell (cProfile) for hot-path work",
     )
-    p.add_argument("mode", choices=("profile",))
+    p.add_argument("mode", choices=("profile", "compare"))
+    p.add_argument("files", nargs="*",
+                   help="compare: BASELINE.json CANDIDATE.json "
+                        "(two BENCH_perf.json documents)")
+    p.add_argument("--threshold", type=float, default=0.30,
+                   help="compare: max tolerated fractional trials/s drop "
+                        "per bench before exiting non-zero (default 0.30)")
     p.add_argument("--strategy", default=None,
                    help="strategy id (default: none/baseline)")
     p.add_argument("--vantage", default="aliyun-beijing",
@@ -608,6 +686,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2017)
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool size (default: REPRO_WORKERS)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="persistent shard runner: contiguous cell slices "
+                        "per worker (default: per-cell dispatch)")
     p.add_argument("--golden-dir", default=None,
                    help="override the tests/golden/ directory")
     p.add_argument("--json", action="store_true",

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.calibration import CLEAN_ROOM, Calibration
-from repro.experiments.parallel import map_trials
+from repro.experiments.parallel import map_trials, run_sharded
 from repro.experiments.vantage import VantagePoint, vantage_by_name
 from repro.experiments.websites import Website, outside_china_catalog
 from repro.gfw.models import MODEL_VARIANTS, model_variant_configs
@@ -235,29 +235,61 @@ def run_cell(
     repeats: int = DEFAULT_REPEATS,
     seed: int = DEFAULT_SEED,
 ) -> CellResult:
-    """Run one cell's repeats serially and reduce them to counts.
+    """Run one cell's repeats and reduce them to counts.
 
-    Imports the runner lazily so the module stays importable in
-    process-pool workers without dragging the app stack in at
-    enumeration time.
+    Repeats are multiplexed through one shared event heap in windows of
+    ``REPRO_BATCH_TRIALS`` (byte-identical to the serial loop — pinned by
+    the batch-parity tier-1 tests); ``REPRO_BATCH_TRIALS=1`` falls back
+    to running them one at a time.  Imports the runner lazily so the
+    module stays importable in process-pool workers without dragging the
+    app stack in at enumeration time.
     """
-    from repro.experiments.runner import Outcome, _simulate_http_trial
+    from repro.experiments.runner import (
+        Outcome,
+        _run_http_batch_records,
+        _simulate_http_trial,
+        batch_window,
+    )
 
     vantage = profile_vantage(cell.profile)
     website = conformance_site()
     calibration = cell_calibration(cell.fault)
     salt = cell.seed_salt()
     result = CellResult(cell=cell)
-    for repeat in range(repeats):
-        record, _scenario = _simulate_http_trial(
-            vantage,
-            website,
-            cell.strategy_id,
-            calibration,
-            seed=(seed * 1_000_003 + repeat) ^ salt,
-            keyword=True,
-            gfw_variant=cell.gfw_variant,
-        )
+    window = batch_window()
+    if window > 1 and repeats > 1:
+        tasks = [
+            (
+                vantage,
+                website,
+                cell.strategy_id,
+                calibration,
+                (seed * 1_000_003 + repeat) ^ salt,
+                True,
+            )
+            for repeat in range(repeats)
+        ]
+        records = []
+        for start in range(0, len(tasks), window):
+            records.extend(
+                _run_http_batch_records(
+                    tasks[start : start + window], gfw_variant=cell.gfw_variant
+                )
+            )
+    else:
+        records = [
+            _simulate_http_trial(
+                vantage,
+                website,
+                cell.strategy_id,
+                calibration,
+                seed=(seed * 1_000_003 + repeat) ^ salt,
+                keyword=True,
+                gfw_variant=cell.gfw_variant,
+            )[0]
+            for repeat in range(repeats)
+        ]
+    for record in records:
         if record.outcome is Outcome.SUCCESS:
             result.success += 1
         elif record.outcome is Outcome.FAILURE1:
@@ -278,16 +310,29 @@ def run_matrix(
     repeats: int = DEFAULT_REPEATS,
     seed: int = DEFAULT_SEED,
     workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, CellResult]:
     """Run the matrix (fanned out a cell at a time), keyed by cell id.
 
     Per-cell seeds are fixed before fan-out, so the verdict map is
-    identical for any worker count.
+    identical for any worker count.  ``shards`` switches the fan-out to
+    the persistent shard runner: each worker gets one contiguous slice of
+    the cell list (one pickled payload and one telemetry delta per shard
+    instead of per cell) — same verdicts, less dispatch overhead.
     """
     if cells is None:
         cells = default_cells()
     tasks = [(cell, repeats, seed) for cell in cells]
-    results = map_trials(
-        _cell_worker, tasks, workers=workers, trials_per_task=repeats
-    )
+    if shards is not None and shards > 1:
+        results = run_sharded(
+            _cell_worker,
+            tasks,
+            shards=shards,
+            workers=workers,
+            trials_per_task=repeats,
+        )
+    else:
+        results = map_trials(
+            _cell_worker, tasks, workers=workers, trials_per_task=repeats
+        )
     return {result.cell.cell_id: result for result in results}

@@ -28,7 +28,7 @@ from __future__ import annotations
 import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.env import env_int
 from repro.telemetry.metrics import get_registry
@@ -38,6 +38,7 @@ __all__ = [
     "map_trials",
     "note_trials",
     "reset_trial_count",
+    "run_sharded",
     "shutdown_pool",
     "trials_completed",
 ]
@@ -75,13 +76,18 @@ def shutdown_pool() -> None:
 
 
 def _get_pool(workers: int) -> ProcessPoolExecutor:
-    """The shared executor, recreated only when the size changes.
+    """The shared executor; workers live for the whole sweep.
 
-    Reuse amortizes process start-up across the many small cells of a
-    bench run (Table 1 alone calls :func:`map_trials` 30 times).
+    Grow-only: the pool is recreated when more workers are needed, never
+    torn down for fewer — a small map mid-sweep (3 tasks after a
+    10,000-task cell) must not cycle every worker process.  A call that
+    needs fewer workers than the pool holds simply submits fewer chunks,
+    so surplus processes sleep.  Reuse amortizes both process start-up
+    and worker-side warm state (scenario pools, packet free lists)
+    across the many cells of a sweep.
     """
     global _pool, _pool_workers
-    if _pool is None or _pool_workers != workers:
+    if _pool is None or _pool_workers < workers:
         shutdown_pool()
         _pool = ProcessPoolExecutor(max_workers=workers)
         _pool_workers = workers
@@ -123,12 +129,26 @@ def _run_task_with_snapshot(payload: Tuple[Callable, Tuple]) -> Tuple[Any, dict]
     return result, registry.diff(before)
 
 
+def _mirrored_trials(
+    trials_per_task: Union[int, Sequence[int]], task_count: int
+) -> int:
+    """Total paper-trials represented by ``task_count`` work units."""
+    if isinstance(trials_per_task, int):
+        return trials_per_task * task_count
+    if len(trials_per_task) != task_count:
+        raise ValueError(
+            f"trials_per_task has {len(trials_per_task)} entries "
+            f"for {task_count} tasks"
+        )
+    return sum(trials_per_task)
+
+
 def map_trials(
     func: Callable[[Tuple], Any],
     tasks: Iterable[Tuple],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
-    trials_per_task: int = 1,
+    trials_per_task: Union[int, Sequence[int]] = 1,
 ) -> List[Any]:
     """Order-preserving (possibly parallel) map over trial work units.
 
@@ -138,6 +158,10 @@ def map_trials(
     chunked onto the shared process pool and results are collected back in
     task order, so the caller's merge never depends on scheduling.
 
+    The effective worker count is clamped to the task count: a 3-task map
+    never engages more than 3 workers, so the chunk layout cannot
+    degenerate into idle workers plus one overloaded straggler.
+
     Each worker task also returns the metrics-registry delta it produced
     (see :mod:`repro.telemetry.metrics`); the parent merges those deltas
     into its own registry.  The merge is order-independent — counters and
@@ -145,11 +169,13 @@ def map_trials(
     serial run would have built, for any worker count or schedule.
 
     ``trials_per_task`` tells the parent how many paper-trials one work
-    unit performs, keeping the trials/sec accounting truthful when the
-    actual counting happens inside worker processes.
+    unit performs — a single count shared by every task, or one entry per
+    task (batched windows have a short tail) — keeping the trials/sec
+    accounting truthful when the actual counting happens inside worker
+    processes.
     """
     tasks = list(tasks)
-    effective = configured_workers(workers)
+    effective = min(configured_workers(workers), len(tasks))
     if effective <= 1 or len(tasks) <= 1:
         # Inline path: the trial functions themselves count trials and
         # write the parent registry directly.
@@ -166,5 +192,65 @@ def map_trials(
         registry.merge(delta)
         results.append(result)
     # Worker-process counters are invisible here; mirror their work.
-    note_trials(trials_per_task * len(tasks))
+    note_trials(_mirrored_trials(trials_per_task, len(tasks)))
+    return results
+
+
+def _shard_worker(payload: Tuple[Callable, Tuple]) -> List[Any]:
+    """Worker-side shard loop: run every task of one shard in order.
+
+    Lives at module level so the payload pickles; per-worker warm state
+    (the scenario pool, packet free lists) persists across the shard's
+    tasks, which is the point of sharding.
+    """
+    func, shard = payload
+    return [func(task) for task in shard]
+
+
+def run_sharded(
+    func: Callable[[Tuple], Any],
+    tasks: Iterable[Tuple],
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+    trials_per_task: Union[int, Sequence[int]] = 1,
+) -> List[Any]:
+    """Partition ``tasks`` into contiguous shards, one worker unit each.
+
+    Where :func:`map_trials` ships every task through the pool
+    individually (one pickled payload and one registry delta per task),
+    sharding ships ``shards`` payloads total: each worker receives a
+    contiguous slice of the task list, runs it serially with its warm
+    per-process scenario pool, and returns one result list plus one
+    merged telemetry delta.  Contiguity matters — task lists are grouped
+    by cell, so a shard's tasks hit the same pooled topologies.
+
+    Results come back in task order (shards are reassembled in slice
+    order) and the registry merge is order-independent, so the output is
+    identical to :func:`map_trials` for any shard or worker count.
+    ``shards`` defaults to the worker count.
+    """
+    tasks = list(tasks)
+    requested = configured_workers(workers)
+    if shards is None:
+        shards = requested
+    shards = max(1, min(shards, len(tasks)))
+    if requested <= 1 or shards <= 1 or len(tasks) <= 1:
+        return [func(task) for task in tasks]
+    base, extra = divmod(len(tasks), shards)
+    slices: List[tuple] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        slices.append(tuple(tasks[start : start + size]))
+        start += size
+    pool = _get_pool(min(requested, shards))
+    payloads = [(_shard_worker, (func, shard)) for shard in slices]
+    registry = get_registry()
+    results: List[Any] = []
+    for shard_results, delta in pool.map(
+        _run_task_with_snapshot, payloads, chunksize=1
+    ):
+        registry.merge(delta)
+        results.extend(shard_results)
+    note_trials(_mirrored_trials(trials_per_task, len(tasks)))
     return results

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.cache import KeyValueStore
+from repro.core.env import env_int
 from repro.core.intang import INTANG
 from repro.core.selection import StrategySelector
 from repro.apps.dns import DNSUdpClient
@@ -31,13 +32,16 @@ from repro.apps.tor import TorClient
 from repro.apps.vpn import OpenVPNClient
 from repro.experiments import result_cache
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
-from repro.experiments.parallel import map_trials, note_trials
+from repro.experiments.parallel import map_trials, note_trials, run_sharded
 from repro.experiments.scenarios import (
     HONEST_DNS_ANSWER,
     Scenario,
     acquire_scenario,
     build_scenario,
+    release_scenario,
 )
+from repro.netsim.batch import BatchSim
+from repro.netstack.packet import recycle_packets
 from repro.experiments.vantage import VantagePoint
 from repro.experiments.websites import Resolver, Website
 from repro.telemetry.metrics import get_registry
@@ -185,26 +189,65 @@ def _http_record_from_payload(payload: Dict) -> TrialRecord:
     )
 
 
-def _simulate_http_trial(
+_REGISTRY = get_registry()
+_TRIALS_RUN = _REGISTRY.counter("trials.run")
+_OUTCOME_COUNTERS = {
+    Outcome.SUCCESS: _REGISTRY.counter("trials.success"),
+    Outcome.FAILURE1: _REGISTRY.counter("trials.failure1"),
+    Outcome.FAILURE2: _REGISTRY.counter("trials.failure2"),
+}
+_BYTES_INSPECTED = _REGISTRY.histogram("trial.bytes_inspected")
+
+
+@dataclass
+class _HttpTrialContext:
+    """The live state of one HTTP trial between setup and finalization.
+
+    Batched execution interleaves many trials through one shared event
+    heap; each trial's pre-run state (the INTANG instance, the in-flight
+    HTTP exchange, the drift that was applied) parks here until the batch
+    run drains and the trial can be classified.
+    """
+
+    vantage: VantagePoint
+    website: Website
+    strategy_id: Optional[str]
+    keyword: bool
+    selector: Optional[StrategySelector]
+    scenario: Scenario
+    intang: INTANG
+    exchange: object
+    drift: Optional[str]
+
+
+def _http_trial_setup(
     vantage: VantagePoint,
     website: Website,
     strategy_id: Optional[str],
-    calibration: Calibration = DEFAULT_CALIBRATION,
-    seed: int = 0,
-    keyword: bool = True,
+    calibration: Calibration,
+    seed: int,
+    keyword: bool,
     selector: Optional[StrategySelector] = None,
     trace: bool = False,
     gfw_variant: Optional[str] = None,
-) -> Tuple[TrialRecord, Scenario]:
-    """Simulate one HTTP trial from scratch, returning the record *and*
-    the finished scenario (for diagnosis; the cache layer above discards
-    it).  ``trace=True`` turns on the packet trace recorder, whose events
-    also land on the telemetry bus when that is enabled.  ``gfw_variant``
-    forces a named installation variant (conformance cells)."""
+    batch: Optional[BatchSim] = None,
+) -> _HttpTrialContext:
+    """Build the trial topology and queue its workload, without running.
+
+    The setup phase only *schedules* (INTANG's interception hooks, the
+    client's request segments); no event fires until the clock runs, so a
+    batch runner can interleave many set-up trials through one heap.
+    When ``batch`` is given the scenario is leased from the pool (the
+    caller hands it back via ``release_scenario``) and its clock is
+    adopted into the shared heap before anything is scheduled on it.
+    """
     scenario = acquire_scenario(
         vantage=vantage, website=website, calibration=calibration,
         seed=seed, workload="http", trace=trace, gfw_variant=gfw_variant,
+        lease=batch is not None,
     )
+    if batch is not None:
+        batch.adopt(scenario.clock)
     intang = INTANG(
         host=scenario.client,
         tcp_host=scenario.client_tcp,
@@ -232,30 +275,122 @@ def _simulate_http_trial(
         host=website.name,
         path=SENSITIVE_PATH if keyword else BENIGN_PATH,
     )
-    scenario.run()
-    outcome = classify(exchange.got_response, scenario.gfw_resets_received())
-    used = intang.last_strategy_for(website.ip) or (strategy_id or "none")
-    if selector is not None:
-        intang.report_result(website.ip, outcome is Outcome.SUCCESS)
+    return _HttpTrialContext(
+        vantage=vantage,
+        website=website,
+        strategy_id=strategy_id,
+        keyword=keyword,
+        selector=selector,
+        scenario=scenario,
+        intang=intang,
+        exchange=exchange,
+        drift=drift,
+    )
+
+
+def _http_trial_finalize(ctx: _HttpTrialContext) -> TrialRecord:
+    """Classify a finished trial and count it; the run phase is over."""
+    scenario = ctx.scenario
+    outcome = classify(ctx.exchange.got_response, scenario.gfw_resets_received())
+    used = ctx.intang.last_strategy_for(ctx.website.ip) or (ctx.strategy_id or "none")
+    if ctx.selector is not None:
+        ctx.intang.report_result(ctx.website.ip, outcome is Outcome.SUCCESS)
     record = TrialRecord(
         outcome=outcome,
         strategy_id=used,
-        vantage=vantage.name,
-        target=website.name,
-        keyword=keyword,
-        drift=drift,
+        vantage=ctx.vantage.name,
+        target=ctx.website.name,
+        keyword=ctx.keyword,
+        drift=ctx.drift,
         detections=scenario.gfw_detections(),
         diagnosis=diagnose_failure(scenario, outcome),
     )
     # Outcome accounting lives here — inside the fresh simulation — so a
     # cache-replayed trial never re-counts and the parallel engine's
     # merged registry equals the serial run's.
-    registry = get_registry()
-    registry.counter(f"trials.{outcome.value}").inc()
-    registry.histogram("trial.bytes_inspected").observe(
+    _OUTCOME_COUNTERS[outcome].inc()
+    _BYTES_INSPECTED.observe(
         sum(device.bytes_inspected for device in scenario.gfw_devices)
     )
-    return record, scenario
+    return record
+
+
+def _simulate_http_trial(
+    vantage: VantagePoint,
+    website: Website,
+    strategy_id: Optional[str],
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+    keyword: bool = True,
+    selector: Optional[StrategySelector] = None,
+    trace: bool = False,
+    gfw_variant: Optional[str] = None,
+) -> Tuple[TrialRecord, Scenario]:
+    """Simulate one HTTP trial from scratch, returning the record *and*
+    the finished scenario (for diagnosis; the cache layer above discards
+    it).  ``trace=True`` turns on the packet trace recorder, whose events
+    also land on the telemetry bus when that is enabled.  ``gfw_variant``
+    forces a named installation variant (conformance cells)."""
+    ctx = _http_trial_setup(
+        vantage, website, strategy_id, calibration, seed, keyword,
+        selector=selector, trace=trace, gfw_variant=gfw_variant,
+    )
+    ctx.scenario.run()
+    record = _http_trial_finalize(ctx)
+    return record, ctx.scenario
+
+
+def batch_window() -> int:
+    """Trials multiplexed per shared event heap (``REPRO_BATCH_TRIALS``).
+
+    1 disables batching (the per-trial run loop); the default window of
+    16 amortizes scheduler entry across a cell's seed sweep without
+    leasing more than 16 live scenario object graphs per cell.
+    """
+    return env_int("REPRO_BATCH_TRIALS", 16, minimum=1)
+
+
+def _run_http_batch_records(
+    tasks: Sequence[Tuple],
+    gfw_variant: Optional[str] = None,
+) -> List[TrialRecord]:
+    """Run a window of independent HTTP trials through one shared heap.
+
+    Each task is the usual ``(vantage, website, strategy_id, calibration,
+    seed, keyword)`` tuple.  Setup happens in task order (every RNG draw
+    a trial makes flows from its own seeded generators, so interleaving
+    the *run* phases cannot perturb any trial's draw sequence), then one
+    batch run drains every trial to its own horizon, then finalization
+    again walks task order.  Byte-identical to running the tasks one at a
+    time — pinned by the batch-parity tier-1 tests.
+    """
+    batch = BatchSim()
+    contexts: List[_HttpTrialContext] = []
+    try:
+        for task in tasks:
+            vantage, website, strategy_id, calibration, seed, keyword = task
+            contexts.append(
+                _http_trial_setup(
+                    vantage, website, strategy_id, calibration, seed, keyword,
+                    gfw_variant=gfw_variant, batch=batch,
+                )
+            )
+        batch.run([ctx.scenario.calibration.trial_duration for ctx in contexts])
+    finally:
+        batch.release()
+    records = []
+    for ctx in contexts:
+        records.append(_http_trial_finalize(ctx))
+        scenario = ctx.scenario
+        # The record is final and the scenario goes straight back to the
+        # pool, so the sniffer's forged-reset packets are dead — harvest
+        # them into the packet free lists (unless a trace retains them).
+        trace = scenario.trace
+        if scenario.gfw_packets_at_client and (trace is None or not trace.enabled):
+            recycle_packets(scenario.gfw_packets_at_client)
+            scenario.gfw_packets_at_client.clear()
+        release_scenario(scenario)
+    return records
 
 
 def run_http_trial(
@@ -341,8 +476,68 @@ def _http_task_key(task: Tuple) -> str:
     )
 
 
+def _http_outcome_batch_worker(window: Tuple[Tuple, ...]) -> List[Outcome]:
+    """Process-pool work unit: a window of HTTP trials on one shared heap.
+
+    Mirrors :func:`run_http_trial`'s bookkeeping per trial (trial count,
+    ``trials.run``, historical-result recording) — the parent has already
+    filtered cache hits out of the window.
+    """
+    tasks = list(window)
+    cache_on = result_cache.enabled()
+    note_trials(len(tasks))
+    _TRIALS_RUN.inc(len(tasks))
+    records = _run_http_batch_records(tasks)
+    outcomes: List[Outcome] = []
+    for task, record in zip(tasks, records):
+        if cache_on:
+            result_cache.record_trial(
+                _http_task_key(task), record.outcome.value,
+                _http_record_payload(record),
+            )
+        outcomes.append(record.outcome)
+    return outcomes
+
+
+def _dispatch_http_tasks(
+    tasks: List[Tuple], workers: Optional[int], shards: Optional[int] = None
+) -> List[Outcome]:
+    """Fan trial tasks out — batch-stepped windows unless disabled.
+
+    ``shards`` switches from per-window pool dispatch to the persistent
+    shard runner (one contiguous slice of windows per worker, one
+    telemetry delta per shard).  Outcomes are identical either way.
+    """
+    window = batch_window()
+    sharded = shards is not None and shards > 1
+    if window <= 1 or len(tasks) <= 1:
+        if sharded:
+            return run_sharded(
+                _http_outcome_worker, tasks, shards=shards, workers=workers
+            )
+        return map_trials(_http_outcome_worker, tasks, workers=workers)
+    windows = [
+        tuple(tasks[start : start + window])
+        for start in range(0, len(tasks), window)
+    ]
+    trials = [len(w) for w in windows]
+    if sharded:
+        chunks = run_sharded(
+            _http_outcome_batch_worker, windows, shards=shards,
+            workers=workers, trials_per_task=trials,
+        )
+    else:
+        chunks = map_trials(
+            _http_outcome_batch_worker, windows, workers=workers,
+            trials_per_task=trials,
+        )
+    return [outcome for chunk in chunks for outcome in chunk]
+
+
 def run_http_outcomes(
-    tasks: Sequence[Tuple], workers: Optional[int] = None
+    tasks: Sequence[Tuple],
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> List[Outcome]:
     """Run independent HTTP trials (serial or fanned out) in task order.
 
@@ -354,10 +549,14 @@ def run_http_outcomes(
     fan-out, so a fully-cached cell costs a few dict lookups and never
     spawns a worker; outcomes computed by workers are recorded in this
     (parent) process so the next sweep over the same cell is warm.
+
+    Uncached trials run in batch-stepped windows (``REPRO_BATCH_TRIALS``
+    trials per shared event heap); set the knob to 1 for the per-trial
+    run loop.  The two paths are byte-identical.
     """
     tasks = [tuple(t) for t in tasks]
     if not result_cache.enabled():
-        return map_trials(_http_outcome_worker, tasks, workers=workers)
+        return _dispatch_http_tasks(tasks, workers, shards)
     keys = [_http_task_key(task) for task in tasks]
     outcomes: List[Optional[Outcome]] = []
     for key in keys:
@@ -367,9 +566,8 @@ def run_http_outcomes(
     if len(pending) < len(tasks):
         note_trials(len(tasks) - len(pending))  # replayed, but still trials
     if pending:
-        fresh = map_trials(
-            _http_outcome_worker, [tasks[index] for index in pending],
-            workers=workers,
+        fresh = _dispatch_http_tasks(
+            [tasks[index] for index in pending], workers, shards
         )
         for index, outcome in zip(pending, fresh):
             outcomes[index] = outcome
@@ -406,18 +604,20 @@ def run_strategy_cell(
     seed: int = 0,
     keyword: bool = True,
     workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> RateTriple:
     """One Table 1 cell: a strategy across vantage × site × repeats.
 
     Trials fan out over ``workers`` processes (default: the
     ``REPRO_WORKERS`` environment knob); the seeds are fixed before
     fan-out, so the resulting :class:`RateTriple` is identical for any
-    worker count.
+    worker count.  ``shards`` (> 1) routes the fan-out through the
+    persistent shard runner instead of per-window dispatch.
     """
     tasks = _cell_tasks(
         strategy_id, vantages, websites, calibration, repeats, seed, keyword
     )
-    outcomes = run_http_outcomes(tasks, workers=workers)
+    outcomes = run_http_outcomes(tasks, workers=workers, shards=shards)
     return RateTriple.from_outcomes(outcomes)
 
 
@@ -512,6 +712,7 @@ def run_per_vantage(
     seed: int = 0,
     adaptive: bool = False,
     workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> PerVantageRates:
     """Per-vantage rates for one strategy, fanned out a vantage at a time."""
     websites = tuple(websites)
@@ -520,10 +721,16 @@ def run_per_vantage(
          calibration, repeats, seed, adaptive)
         for v_index, vantage in enumerate(vantages)
     ]
-    triples = map_trials(
-        _vantage_row_worker, tasks, workers=workers,
-        trials_per_task=len(websites) * repeats,
-    )
+    if shards is not None and shards > 1:
+        triples = run_sharded(
+            _vantage_row_worker, tasks, shards=shards, workers=workers,
+            trials_per_task=len(websites) * repeats,
+        )
+    else:
+        triples = map_trials(
+            _vantage_row_worker, tasks, workers=workers,
+            trials_per_task=len(websites) * repeats,
+        )
     result = PerVantageRates()
     for vantage, triple in zip(vantages, triples):
         result.rates[vantage.name] = triple
@@ -539,12 +746,14 @@ def run_table4_row(
     seed: int = 0,
     adaptive: bool = False,
     workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> PerVantageRates:
     """One Table 4 row; ``adaptive=True`` is the "INTANG Performance" row
     (the selector carries measurement history across repeats)."""
     return run_per_vantage(
         strategy_id, vantages, websites, calibration,
         repeats=repeats, seed=seed, adaptive=adaptive, workers=workers,
+        shards=shards,
     )
 
 

@@ -45,7 +45,7 @@ from repro.apps.dns import DNSTcpResolver, DNSUdpResolver
 from repro.apps.tor import TorBridge
 from repro.apps.udp import UDPHost
 from repro.apps.vpn import OpenVPNServer
-from repro.core.env import env_flag
+from repro.core.env import env_flag, env_int
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.experiments.vantage import VantagePoint
 from repro.experiments.websites import Resolver, Website
@@ -89,6 +89,9 @@ class Scenario:
     #: Keyword arguments :func:`build_scenario` was called with (everything
     #: but ``seed``), kept so :meth:`reset` can replay the build.
     _build_args: Optional[Dict[str, Any]] = None
+    #: Free-list key when this scenario came from :func:`acquire_scenario`;
+    #: :func:`release_scenario` uses it to return the scenario to its cell.
+    _pool_key: Optional[tuple] = None
 
     def run(self, duration: Optional[float] = None) -> None:
         self.clock.run_for(duration or self.calibration.trial_duration)
@@ -480,13 +483,56 @@ def build_scenario(
 #: coins, middlebox composition, GFW installation, workload apps) is derived
 #: from the seed per build, so two calls with the same key but different
 #: seeds or workloads still reuse one set of heavy objects.
-_SCENARIO_POOL: "OrderedDict[tuple, Scenario]" = OrderedDict()
-#: A Table-1 sweep touches about a dozen (vantage, target) cells; the cap
-#: only protects very long-lived processes sweeping thousands of cells.
-_SCENARIO_POOL_LIMIT = 256
+#:
+#: Each key maps to a *free list* of idle scenarios: batched execution
+#: needs several live scenarios per cell simultaneously (one per trial in
+#: the window), so the pool stacks them instead of keeping one.  Keys are
+#: LRU-ordered; the total scenario count is bounded by
+#: ``REPRO_SCENARIO_POOL_MAX`` (a 792-cell conformance sweep would
+#: otherwise keep every cell's topology alive forever).
+_SCENARIO_POOL: "OrderedDict[tuple, List[Scenario]]" = OrderedDict()
+#: Default total-scenario cap; override with REPRO_SCENARIO_POOL_MAX.
+_SCENARIO_POOL_DEFAULT_MAX = 256
+#: Total scenarios currently pooled across all keys.
+_pool_count = 0
 
 _SCENARIOS_BUILT = get_registry().counter("scenario.built")
 _SCENARIOS_REUSED = get_registry().counter("scenario.reused")
+_SCENARIOS_EVICTED = get_registry().counter("scenario.evicted")
+
+
+def _pool_limit() -> int:
+    return env_int("REPRO_SCENARIO_POOL_MAX", _SCENARIO_POOL_DEFAULT_MAX, minimum=0)
+
+
+def release_scenario(scenario: Scenario) -> None:
+    """Return an idle scenario to its cell's free list.
+
+    Evicts least-recently-used entries (oldest key first) once the total
+    pooled count exceeds ``REPRO_SCENARIO_POOL_MAX``; evictions are
+    counted by the ``scenario.evicted`` telemetry counter.  Scenarios
+    without a pool key (fresh builds taken outside :func:`acquire_scenario`)
+    are dropped silently.
+    """
+    global _pool_count
+    key = scenario._pool_key
+    if key is None:
+        return
+    free = _SCENARIO_POOL.get(key)
+    if free is None:
+        _SCENARIO_POOL[key] = [scenario]
+    else:
+        free.append(scenario)
+        _SCENARIO_POOL.move_to_end(key)
+    _pool_count += 1
+    limit = _pool_limit()
+    while _pool_count > limit and _SCENARIO_POOL:
+        oldest_key, oldest_free = next(iter(_SCENARIO_POOL.items()))
+        oldest_free.pop(0)
+        if not oldest_free:
+            del _SCENARIO_POOL[oldest_key]
+        _pool_count -= 1
+        _SCENARIOS_EVICTED.inc()
 
 
 def acquire_scenario(
@@ -500,6 +546,7 @@ def acquire_scenario(
     force_firewall: Optional[bool] = None,
     firewall_teardown_probability: float = 1.0,
     gfw_variant: Optional[str] = None,
+    lease: bool = False,
 ) -> Scenario:
     """:func:`build_scenario`, but reusing pooled topology objects per cell.
 
@@ -510,6 +557,12 @@ def acquire_scenario(
     are for debugging; keep them maximally isolated) or when the
     ``REPRO_SCENARIO_REUSE`` knob is off.  The pool is per-process, so
     parallel sweeps (``REPRO_WORKERS``) reuse within each worker.
+
+    By default the scenario is returned to the free list immediately (a
+    serial trial finishes with it before the next acquire can pop it).
+    ``lease=True`` keeps it checked out — batched execution leases a whole
+    window of scenarios at once and hands each back via
+    :func:`release_scenario` when its trial is finalized.
     """
     target = resolver if workload == "dns" else website
     if trace or target is None or not env_flag("REPRO_SCENARIO_REUSE", True):
@@ -526,12 +579,18 @@ def acquire_scenario(
             firewall_teardown_probability=firewall_teardown_probability,
             gfw_variant=gfw_variant,
         )
+    global _pool_count
     key = (vantage.ip, vantage.name, target.ip, target.name)
-    pooled = _SCENARIO_POOL.pop(key, None)
-    if pooled is None:
-        _SCENARIOS_BUILT.inc()
-    else:
+    free = _SCENARIO_POOL.get(key)
+    if free:
+        pooled = free.pop()
+        if not free:
+            del _SCENARIO_POOL[key]
+        _pool_count -= 1
         _SCENARIOS_REUSED.inc()
+    else:
+        pooled = None
+        _SCENARIOS_BUILT.inc()
     scenario = build_scenario(
         vantage,
         website=website,
@@ -545,15 +604,24 @@ def acquire_scenario(
         gfw_variant=gfw_variant,
         reuse=pooled,
     )
-    _SCENARIO_POOL[key] = scenario
-    if len(_SCENARIO_POOL) > _SCENARIO_POOL_LIMIT:
-        _SCENARIO_POOL.popitem(last=False)
+    scenario._pool_key = key
+    if not lease:
+        # Mirror the historical contract: the scenario sits in the pool
+        # while its (strictly serial) trial runs on it.
+        release_scenario(scenario)
     return scenario
 
 
 def clear_scenario_pool() -> None:
     """Drop all pooled scenarios (tests and benchmarks)."""
+    global _pool_count
     _SCENARIO_POOL.clear()
+    _pool_count = 0
+
+
+def scenario_pool_size() -> int:
+    """Total idle scenarios currently pooled (tests and diagnostics)."""
+    return _pool_count
 
 
 @lru_cache(maxsize=1)

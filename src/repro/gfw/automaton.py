@@ -183,7 +183,20 @@ _AUTOMATON_MEMO: Dict[Tuple[bytes, ...], KeywordAutomaton] = {}
 
 
 def compile_keywords(keywords: Iterable[bytes]) -> KeywordAutomaton:
-    """The memoized compile step: one automaton per distinct keyword tuple."""
+    """The memoized compile step: one automaton per distinct keyword tuple.
+
+    Rule sets hand in the same keyword tuple for every device of every
+    trial, so the common case is a straight memo hit on the caller's
+    tuple — key normalization (copying each keyword through ``bytes``)
+    runs only on first sight of a key, not twice per trial.
+    """
+    if type(keywords) is tuple:
+        try:
+            automaton = _AUTOMATON_MEMO.get(keywords)
+        except TypeError:  # unhashable members (e.g. bytearray): normalize
+            automaton = None
+        if automaton is not None:
+            return automaton
     key = tuple(bytes(k) for k in keywords)
     automaton = _AUTOMATON_MEMO.get(key)
     if automaton is None:

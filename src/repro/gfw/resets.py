@@ -17,7 +17,16 @@ from __future__ import annotations
 import random
 from typing import List, Tuple
 
-from repro.netstack.packet import ACK, IPPacket, RST, SYN, TCPSegment, seq_add
+from repro.netstack.packet import (
+    ACK,
+    IPPacket,
+    RST,
+    SYN,
+    TCPSegment,
+    packet_shell,
+    segment_shell,
+    seq_add,
+)
 
 
 class ResetInjector:
@@ -37,9 +46,10 @@ class ResetInjector:
     def _forged_packet(
         self, src: str, dst: str, segment: TCPSegment, ttl: int, kind: str
     ) -> IPPacket:
-        """Wrap a forged segment; built by direct slot assignment because
-        volleys are the dominant packet source in censored trials."""
-        packet = IPPacket.__new__(IPPacket)
+        """Wrap a forged segment; built by direct slot assignment (pooled
+        shell) because volleys are the dominant packet source in censored
+        trials."""
+        packet = packet_shell()
         packet.src = src
         packet.dst = dst
         packet.payload = segment
@@ -56,7 +66,7 @@ class ResetInjector:
     def _forged_segment(
         src_port: int, dst_port: int, seq: int, ack: int, flags: int, window: int
     ) -> TCPSegment:
-        segment = TCPSegment.__new__(TCPSegment)
+        segment = segment_shell()
         segment.src_port = src_port
         segment.dst_port = dst_port
         segment.seq = seq

@@ -249,6 +249,15 @@ class _Transit:
     element visit, delivery) in one frame: the old
     ``_arrive -> _visit_element -> _post`` chain cost three extra Python
     calls per event, which is real money at paper-sweep packet rates.
+
+    ``fire`` also *fast-forwards*: after an element visit, if the heap
+    top is strictly later than this packet's next arrival (and that
+    arrival is within the clock's active run horizon), no other event can
+    possibly execute in between — so the next leg is processed inline,
+    advancing the clock directly instead of a heappush/heappop round
+    trip.  Tie-breaking is preserved exactly: an equal-time heap entry
+    was necessarily pushed earlier (lower seq) and must fire first, so
+    equality suppresses the fast path.
     """
 
     __slots__ = (
@@ -264,92 +273,123 @@ class _Transit:
         path = self.path
         packet = self.packet
         direction = self.direction
-        current_hop = self.current_hop
         trace = network.trace
+        clock = network.clock
+        queue = clock._queue
         c2s = direction is Direction.CLIENT_TO_SERVER
-        # TTL accounting: packet.ttl was the value at current_hop.
-        remaining_ttl = packet.ttl - self.distance
-        if remaining_ttl <= 0:
-            expiry_hop: Optional[int] = (
-                current_hop + packet.ttl if c2s else current_hop - packet.ttl
-            )
-        else:
-            expiry_hop = None
+        current_hop = self.current_hop
+        target_hop = self.target_hop
+        distance = self.distance
+        index = self.plan_index
+        plan = self.plan
+        plan_len = self.plan_len
         drop_hop = self.drop_hop
-        if drop_hop is not None and network._hop_reached(
-            current_hop, self.target_hop, drop_hop, direction
-        ):
-            if expiry_hop is None or network._loss_before_ttl(
-                current_hop, drop_hop, expiry_hop, direction
+        per_hop = path._per_hop_delay
+        jitter = path.jitter
+        while True:
+            # TTL accounting: packet.ttl was the value at current_hop.
+            remaining_ttl = packet.ttl - distance
+            if remaining_ttl <= 0:
+                expiry_hop: Optional[int] = (
+                    current_hop + packet.ttl if c2s else current_hop - packet.ttl
+                )
+            else:
+                expiry_hop = None
+            if drop_hop is not None and network._hop_reached(
+                current_hop, target_hop, drop_hop, direction
             ):
+                if expiry_hop is None or network._loss_before_ttl(
+                    current_hop, drop_hop, expiry_hop, direction
+                ):
+                    if trace.enabled:
+                        trace.record(
+                            clock._now, f"hop{drop_hop}", "drop", packet,
+                            direction.value, note="loss",
+                        )
+                    return
+            if expiry_hop is not None:
                 if trace.enabled:
                     trace.record(
-                        network.clock.now, f"hop{drop_hop}", "drop", packet,
-                        direction.value, note="loss",
+                        clock._now, f"hop{expiry_hop}", "drop", packet,
+                        direction.value, note="ttl-expired",
                     )
                 return
-        if expiry_hop is not None:
-            if trace.enabled:
-                trace.record(
-                    network.clock.now, f"hop{expiry_hop}", "drop", packet,
-                    direction.value, note="ttl-expired",
-                )
-            return
-        packet.ttl = remaining_ttl
-        index = self.plan_index
-        if index >= self.plan_len:
-            network._deliver(path, packet, direction, self.origin)
-            return
-        element = self.plan[index]
-        now = network.clock.now
-        if isinstance(element, Tap):
-            if element.observe_copies or trace.enabled:
-                element.observe(packet.copy(), direction, now)
+            packet.ttl = remaining_ttl
+            if index >= plan_len:
+                network._deliver(path, packet, direction, self.origin)
+                return
+            element = plan[index]
+            now = clock._now
+            if element.is_tap:
+                if element.observe_copies or trace.enabled:
+                    element.observe(packet.copy(), direction, now)
+                else:
+                    # Read-only taps (the GFW devices) opt out of the
+                    # defensive copy; observation is synchronous, so later
+                    # TTL mutation on the live object cannot be seen.
+                    element.observe(packet, direction, now)
+                if trace.enabled:
+                    trace.record(now, element.name, "observe", packet, direction.value)
             else:
-                # Read-only taps (the GFW devices) opt out of the
-                # defensive copy; observation is synchronous, so later
-                # TTL mutation on the live object cannot be seen.
-                element.observe(packet, direction, now)
-            if trace.enabled:
-                trace.record(now, element.name, "observe", packet, direction.value)
-            self.current_hop = element.hop
-            self.plan_index = index + 1
-            network._post(self)
+                result: ProcessResult = element.process(packet, direction, now)
+                verdict = result.verdict
+                if verdict is Verdict.DROP:
+                    if trace.enabled:
+                        trace.record(
+                            now, element.name, "drop", packet, direction.value,
+                            note="middlebox",
+                        )
+                    return
+                if verdict is Verdict.REPLACE:
+                    if trace.enabled:
+                        trace.record(
+                            now, element.name, "replace", packet, direction.value,
+                            note=f"{len(result.packets)} packet(s)",
+                        )
+                    for replacement in result.packets:
+                        clone = _Transit()
+                        clone.network = network
+                        clone.path = path
+                        clone.packet = replacement
+                        clone.direction = direction
+                        clone.current_hop = element.hop
+                        clone.plan = plan
+                        clone.plan_len = plan_len
+                        clone.plan_index = index + 1
+                        clone.drop_hop = drop_hop
+                        clone.origin = self.origin
+                        network._post(clone)
+                    return
+                if trace.enabled:
+                    trace.record(now, element.name, "forward", packet, direction.value)
+            # Advance to the next leg (inlined _post).
+            current_hop = element.hop
+            index += 1
+            if index < plan_len:
+                target_hop = plan[index].hop
+            elif c2s:
+                target_hop = path.hop_count
+            else:
+                target_hop = 0
+            distance = target_hop - current_hop
+            if distance < 0:
+                distance = -distance
+            delay = per_hop * distance
+            if jitter > 0.0 and delay > 0.0:
+                delay *= 1.0 + network.rng.uniform(-jitter, jitter)
+            arrival = clock._now + delay
+            if (not queue or queue[0][0] > arrival) and arrival <= clock._run_until:
+                # Nothing can execute before this arrival: take the next
+                # leg inline instead of a heappush/heappop round trip.
+                clock._now = arrival
+                continue
+            self.current_hop = current_hop
+            self.plan_index = index
+            self.target_hop = target_hop
+            self.distance = distance
+            clock._seq += 1
+            heappush(queue, (arrival, clock._seq, self))
             return
-        result: ProcessResult = element.process(packet, direction, now)
-        verdict = result.verdict
-        if verdict is Verdict.DROP:
-            if trace.enabled:
-                trace.record(
-                    now, element.name, "drop", packet, direction.value,
-                    note="middlebox",
-                )
-            return
-        if verdict is Verdict.REPLACE:
-            if trace.enabled:
-                trace.record(
-                    now, element.name, "replace", packet, direction.value,
-                    note=f"{len(result.packets)} packet(s)",
-                )
-            for replacement in result.packets:
-                clone = _Transit()
-                clone.network = network
-                clone.path = path
-                clone.packet = replacement
-                clone.direction = direction
-                clone.current_hop = element.hop
-                clone.plan = self.plan
-                clone.plan_len = self.plan_len
-                clone.plan_index = index + 1
-                clone.drop_hop = drop_hop
-                clone.origin = self.origin
-                network._post(clone)
-            return
-        if trace.enabled:
-            trace.record(now, element.name, "forward", packet, direction.value)
-        self.current_hop = element.hop
-        self.plan_index = index + 1
-        network._post(self)
 
 
 class Network:
@@ -368,6 +408,10 @@ class Network:
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.hosts: Dict[str, Endpoint] = {}
         self._paths: Dict[frozenset, Path] = {}
+        #: Fast route lookup for the overwhelmingly common one-path
+        #: topology (every paper scenario is client<->server); None when
+        #: zero or several paths are attached.
+        self._single_path: Optional[Path] = None
         #: Packets that arrived for an IP with no registered host.
         self.undeliverable = 0
 
@@ -385,6 +429,7 @@ class Network:
             raise ValueError(f"duplicate path between {path.endpoints()}")
         self._paths[key] = path
         path.network = self
+        self._single_path = path if len(self._paths) == 1 else None
         return path
 
     def path_between(self, ip_a: str, ip_b: str) -> Path:
@@ -399,15 +444,24 @@ class Network:
     # -- sending ------------------------------------------------------------
     def send(self, sender: Endpoint, packet: IPPacket) -> None:
         """Called by an endpoint to transmit toward ``packet.dst``."""
-        try:
-            path = self.path_between(sender.ip, packet.dst)
-        except KeyError:
-            self.trace.record(
-                self.clock.now, sender.name, "drop", packet, note="no route"
-            )
-            self.undeliverable += 1
-            return
-        direction = path.direction_from(sender.ip)
+        single = self._single_path
+        sender_ip = sender.ip
+        if single is not None and sender_ip == single.client_ip and packet.dst == single.server_ip:
+            path = single
+            direction = Direction.CLIENT_TO_SERVER
+        elif single is not None and sender_ip == single.server_ip and packet.dst == single.client_ip:
+            path = single
+            direction = Direction.SERVER_TO_CLIENT
+        else:
+            try:
+                path = self.path_between(sender_ip, packet.dst)
+            except KeyError:
+                self.trace.record(
+                    self.clock.now, sender.name, "drop", packet, note="no route"
+                )
+                self.undeliverable += 1
+                return
+            direction = path.direction_from(sender_ip)
         if self.trace.enabled:
             self.trace.record(
                 self.clock.now, sender.name, "send", packet, direction.value

@@ -85,6 +85,11 @@ class PathElement:
     remaining (and never arrives if that is <= 0).
     """
 
+    #: Class-level dispatch flag read by the traversal hot loop: taps get
+    #: ``observe``, everything else gets ``process``.  An attribute load
+    #: beats an ``isinstance`` per element visit.
+    is_tap = False
+
     def __init__(self, name: str, hop: int) -> None:
         self.name = name
         self.hop = hop
@@ -128,6 +133,8 @@ class Tap(PathElement):
     #: receive the live object, skipping two allocations per observation
     #: on the simulator's hottest path.
     observe_copies = True
+
+    is_tap = True
 
     def observe(self, packet: IPPacket, direction: Direction, now: float) -> None:
         """Called with a copy of every packet that survives to this hop."""

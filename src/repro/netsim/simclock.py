@@ -27,6 +27,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+_INF = float("inf")
+
 
 class Event:
     """Interface for heap entries: ``cancelled`` plus ``fire()``.
@@ -64,14 +66,28 @@ class EventHandle(Event):
 
 
 class SimClock:
-    """Binary-heap event scheduler with deterministic tie-breaking."""
+    """Binary-heap event scheduler with deterministic tie-breaking.
 
-    __slots__ = ("_now", "_seq", "_queue")
+    Batched execution (:class:`~repro.netsim.batch.BatchSim`) may point
+    ``_queue`` at a heap shared by many clocks and stride ``_seq`` into a
+    per-trial range; every scheduling path below only ever does
+    ``_seq += 1`` and pushes 3-tuples, so it is oblivious to whether the
+    queue is private or shared.
+
+    ``_run_until`` is the horizon of the currently active :meth:`run`
+    (``inf`` when idle).  The packet-traversal hot path reads it to decide
+    whether a leg may be processed inline instead of via the heap: an
+    arrival past the horizon must stay queued so that run-loop semantics
+    (events beyond ``until`` never fire) are preserved exactly.
+    """
+
+    __slots__ = ("_now", "_seq", "_queue", "_run_until")
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = start
         self._seq = 0
         self._queue: List[Tuple[float, int, Event]] = []
+        self._run_until = _INF
 
     @property
     def now(self) -> float:
@@ -114,17 +130,22 @@ class SimClock:
         queue = self._queue
         pop = heapq.heappop
         executed = 0
-        while queue and executed < max_events:
-            time = queue[0][0]
-            if until is not None and time > until:
-                break
-            event = pop(queue)[2]
-            if time > self._now:
-                self._now = time
-            if event.cancelled:
-                continue
-            event.fire()
-            executed += 1
+        bound = _INF if until is None else until
+        self._run_until = bound
+        try:
+            while queue and executed < max_events:
+                time = queue[0][0]
+                if time > bound:
+                    break
+                event = pop(queue)[2]
+                if time > self._now:
+                    self._now = time
+                if event.cancelled:
+                    continue
+                event.fire()
+                executed += 1
+        finally:
+            self._run_until = _INF
         if until is not None and self._now < until:
             self._now = until
         return executed
@@ -146,3 +167,4 @@ class SimClock:
         self._queue.clear()
         self._now = start
         self._seq = 0
+        self._run_until = _INF

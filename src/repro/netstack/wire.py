@@ -62,6 +62,20 @@ def _ip_word_sum_raw(address: str) -> int:
     return ip_to_int(address)
 
 
+@lru_cache(maxsize=2048)
+def _body_word_sum(body: bytes) -> int:
+    """Ones-complement word sum of a segment body, pre-packed per blob.
+
+    A sweep serializes the *same* byte bodies over and over — every trial
+    of a cell sends the identical HTTP request, and fragmentation
+    strategies re-split it per trial — so the O(n) word fold runs once
+    per distinct blob.  Keyed on the bytes object itself: Python caches a
+    bytes object's hash in-object and segment copies share payload
+    references, so repeat lookups cost one cached-hash dict probe.
+    """
+    return ones_complement_sum(body)
+
+
 def serialize_tcp(segment: TCPSegment, src: str, dst: str) -> bytes:
     """Serialize a TCP segment, computing (or overriding) its checksum.
 
@@ -96,7 +110,7 @@ def serialize_tcp(segment: TCPSegment, src: str, dst: str) -> bytes:
                 _ip_word_sum_raw(src), _ip_word_sum_raw(dst),
                 PROTO_TCP, TCP_MIN_HEADER_LEN + len(body),
             )
-            + ones_complement_sum(body)
+            + _body_word_sum(body)
         )
         checksum = (~fold_carries(total)) & 0xFFFF
     header = _TCP_HEADER.pack(
@@ -180,7 +194,7 @@ def serialize_udp(datagram: UDPDatagram, src: str, dst: str) -> bytes:
             + pseudo_header_sum(
                 _ip_word_sum_raw(src), _ip_word_sum_raw(dst), PROTO_UDP, length,
             )
-            + ones_complement_sum(datagram.payload)
+            + _body_word_sum(datagram.payload)
         )
         checksum = ((~fold_carries(total)) & 0xFFFF) or 0xFFFF
     header = _UDP_HEADER.pack(
