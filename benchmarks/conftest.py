@@ -69,6 +69,7 @@ def report(name: str, text: str) -> str:
 
 _PERF_RECORDS = []
 _CURRENT_METRICS = {}
+_CURRENT_RATE = {}
 
 
 def record_metric(name, value):
@@ -77,11 +78,23 @@ def record_metric(name, value):
     _CURRENT_METRICS[name] = value
 
 
+def record_rate(value, unit):
+    """Declare the bench's primary throughput in its own unit.
+
+    Benches that do not run trials (bench_dpi streams bytes, bench_fleet
+    counts flow events) record ``rate`` + ``unit`` (e.g.
+    ``bytes_per_second``) instead of the trial fields; ``repro perf
+    compare`` gates these entries as ``<bench>::<unit>``."""
+    _CURRENT_RATE["rate"] = round(float(value), 2)
+    _CURRENT_RATE["unit"] = str(unit)
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
     from repro.experiments.parallel import trials_completed
 
     _CURRENT_METRICS.clear()
+    _CURRENT_RATE.clear()
     trials_before = trials_completed()
     start = time.perf_counter()
     yield
@@ -90,9 +103,17 @@ def pytest_runtest_call(item):
     record = {
         "bench": item.nodeid,
         "wall_seconds": round(elapsed, 4),
-        "trials": trials,
-        "trials_per_second": round(trials / elapsed, 2) if elapsed > 0 else None,
     }
+    if trials:
+        # Benches that run no trials used to land here with ``trials: 0``
+        # and a meaningless rate; the trial fields are now only recorded
+        # when they mean something.
+        record["trials"] = trials
+        record["trials_per_second"] = (
+            round(trials / elapsed, 2) if elapsed > 0 else None
+        )
+    if _CURRENT_RATE:
+        record.update(_CURRENT_RATE)
     if _CURRENT_METRICS:
         record["metrics"] = dict(_CURRENT_METRICS)
     _PERF_RECORDS.append(record)

@@ -276,10 +276,12 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 def _perf_rates(document: dict) -> "dict[str, float]":
     """Extract every throughput figure from a BENCH_perf.json document.
 
-    Covers both the per-bench ``trials_per_second`` field and any
-    ``*_per_second*`` entries inside a bench's ``metrics`` block (the
-    netsim packet rates, the reuse-on/off trial rates).  Zero rates are
-    bookkeeping-only benches and are skipped.
+    Covers the per-bench ``trials_per_second`` field, the generic
+    ``rate``/``unit`` pair recorded by non-trial benches (bench_dpi's
+    bytes/s, bench_fleet's flow events/s — keyed ``<bench>::<unit>``),
+    and any ``*_per_second*`` entries inside a bench's ``metrics`` block
+    (the netsim packet rates, the reuse-on/off trial rates).  Zero rates
+    are bookkeeping-only benches and are skipped.
     """
     rates: dict = {}
     for entry in document.get("benches", []):
@@ -287,6 +289,9 @@ def _perf_rates(document: dict) -> "dict[str, float]":
         tps = entry.get("trials_per_second") or 0.0
         if tps > 0:
             rates[name] = float(tps)
+        rate = entry.get("rate") or 0.0
+        if isinstance(rate, (int, float)) and rate > 0:
+            rates[f"{name}::{entry.get('unit') or 'rate'}"] = float(rate)
         for metric, value in (entry.get("metrics") or {}).items():
             if "per_second" in metric and isinstance(value, (int, float)) and value > 0:
                 rates[f"{name}::{metric}"] = float(value)
@@ -596,6 +601,113 @@ def _telemetry_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a fleet workload: many client flows, one shared GFW.
+
+    Prints flow-events/s plus per-strategy effectiveness; ``--curve``
+    additionally sweeps fleet sizes past the flow-table capacity to
+    show strategy effectiveness degrading (or improving — eviction
+    thrash helps the client) under censor load.
+    """
+    import json as json_module
+    import time as time_module
+
+    from repro.experiments.fleet import (
+        DEFAULT_FLEET_STRATEGIES,
+        FleetSpec,
+        effectiveness_curve,
+        run_fleet,
+    )
+
+    strategies = DEFAULT_FLEET_STRATEGIES
+    if args.strategies:
+        strategies = tuple(
+            item.strip() for item in args.strategies.split(",") if item.strip()
+        )
+    spec = FleetSpec(
+        flows=args.flows,
+        seed=args.seed,
+        sites=args.sites,
+        zipf_alpha=args.zipf_alpha,
+        sensitive_fraction=args.sensitive,
+        strategies=strategies,
+        groups=args.groups,
+        window=args.window,
+        gfw_variant=args.variant,
+        max_flows=args.max_flows,
+    )
+    start = time_module.perf_counter()
+    result = run_fleet(spec, shards=args.shards, workers=args.workers)
+    elapsed = time_module.perf_counter() - start
+    payload = result.to_dict()
+    payload["wall_seconds"] = round(elapsed, 3)
+    if elapsed > 0:
+        payload["flow_events_per_second"] = round(result.flow_events / elapsed, 1)
+        payload["flows_per_second"] = round(result.flows / elapsed, 1)
+    if args.curve:
+        sizes = [int(item) for item in args.curve.split(",") if item.strip()]
+        payload["curve"] = [
+            {
+                "flows": size,
+                "strategy_success": point.strategy_rates(),
+                "benign_success": point.success_rate("benign"),
+                "flows_evicted_active": point.flows_evicted_active,
+                "eviction_false_negatives": point.eviction_false_negatives,
+                "blacklist_false_positives": point.blacklist_false_positives,
+            }
+            for size, point in effectiveness_curve(
+                spec, sizes, shards=args.shards, workers=args.workers
+            )
+        ]
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as sink:
+            json_module.dump(payload, sink, indent=2, sort_keys=True)
+            sink.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"fleet: {result.flows} flows, {result.flow_events} flow events in "
+        f"{elapsed:.2f}s"
+        + (
+            f" ({result.flow_events / elapsed:,.0f} events/s, "
+            f"{result.flows / elapsed:,.0f} flows/s)"
+            if elapsed > 0
+            else ""
+        )
+    )
+    print(
+        f"  shared censor: peak {result.peak_flows_tracked} tracked flows, "
+        f"{result.flows_evicted} evictions "
+        f"({result.flows_evicted_active} mid-stream / "
+        f"{result.flows_evicted_after_fin} after FIN, "
+        f"{result.evictions_in_resync} in RESYNC), "
+        f"{result.blacklistings} blacklistings"
+    )
+    print(
+        f"  load-induced errors: {result.eviction_false_negatives} eviction "
+        f"false negatives, {result.blacklist_false_positives} blacklist "
+        f"false positives (extension, not a paper result)"
+    )
+    for label, counts in result.outcomes.items():
+        total = sum(counts)
+        rate = counts[0] / total if total else 0.0
+        print(
+            f"  {label:<36} {rate:7.1%} success  "
+            f"({counts[0]}/{counts[1]}/{counts[2]} s/f1/f2 of {total})"
+        )
+    for point in payload.get("curve", []):
+        print(
+            f"  curve @{point['flows']:>7} flows: "
+            + ", ".join(
+                f"{label}={rate:.0%}"
+                for label, rate in sorted(point["strategy_success"].items())
+            )
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -700,6 +812,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="[diff] ladder-diff lines to show per cell")
 
     p = sub.add_parser(
+        "fleet",
+        help="fleet workload: thousands of client flows, one shared GFW",
+    )
+    p.add_argument("mode", choices=("run",))
+    p.add_argument("--flows", type=int, default=2000,
+                   help="total client flows across all groups")
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--sites", type=int, default=32,
+                   help="catalog size for Zipf-like site popularity")
+    p.add_argument("--zipf-alpha", type=float, default=1.1,
+                   dest="zipf_alpha", help="popularity tail exponent")
+    p.add_argument("--sensitive", type=float, default=0.5,
+                   help="fraction of flows requesting the keyword URL")
+    p.add_argument("--strategies", default=None,
+                   help="comma-separated strategy pool for sensitive "
+                        "flows (default: the Table-1 rows incl. none)")
+    p.add_argument("--groups", type=int, default=4,
+                   help="client groups == independent shared censors")
+    p.add_argument("--window", type=int, default=64,
+                   help="concurrent flows per shared batch heap")
+    p.add_argument("--variant", default="evolved",
+                   help="GFW model variant (see gfw/models.py)")
+    p.add_argument("--max-flows", type=int, default=None, dest="max_flows",
+                   help="shared flow-table capacity override")
+    p.add_argument("--shards", type=int, default=1,
+                   help="process shards (whole client groups each)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: REPRO_WORKERS)")
+    p.add_argument("--curve", default=None,
+                   help="comma-separated fleet sizes for the "
+                        "effectiveness-vs-load sweep")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON")
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report here")
+
+    p = sub.add_parser(
         "telemetry",
         help="diagnose one trial or dump a sweep's metrics registry",
     )
@@ -742,6 +891,7 @@ _COMMANDS = {
     "perf": _cmd_perf,
     "conformance": _cmd_conformance,
     "telemetry": _cmd_telemetry,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -59,6 +59,16 @@ from repro.experiments.runner import (
     strategy_salt,
     trial_seed,
 )
+from repro.experiments.fleet import (
+    DEFAULT_FLEET_STRATEGIES,
+    FleetResult,
+    FleetSpec,
+    FlowSpec,
+    effectiveness_curve,
+    flow_spec,
+    run_fleet,
+    run_fleet_group,
+)
 
 __all__ = [
     "CLEAN_ROOM",
@@ -99,4 +109,12 @@ __all__ = [
     "run_vpn_trial",
     "strategy_salt",
     "trial_seed",
+    "DEFAULT_FLEET_STRATEGIES",
+    "FleetResult",
+    "FleetSpec",
+    "FlowSpec",
+    "effectiveness_curve",
+    "flow_spec",
+    "run_fleet",
+    "run_fleet_group",
 ]

@@ -1,0 +1,659 @@
+"""Fleet-scale concurrent-flow engine: many clients, one shared GFW.
+
+The paper measures the GFW one client flow at a time, so its stateful
+machinery — the bounded TCB table (§2.1 "costly"), the resync states
+(§4), the 90-second blacklist — is never observed under concurrent
+load.  This module multiplexes thousands-to-millions of simulated
+client flows through **one shared censoring installation**: every flow
+still gets its own topology (client, path, TCP stacks) from the
+scenario pool, but the GFW devices of all flows in a group are grafted
+onto one shared :class:`~repro.gfw.flow.FlowTable`, one shared
+:class:`~repro.gfw.blacklist.Blacklist`, one shared
+:class:`~repro.gfw.cluster.GFWCluster`, and one shared blocked-IP set.
+Flow-table keys are namespaced by a global flow id
+(:attr:`GFWDevice.flow_namespace`), so the four-tuples of pooled
+scenarios never alias while LRU churn, resync-state pressure, and
+blacklist contention are exercised for real.
+
+Everything is deterministic by construction:
+
+- the workload is a pure function of ``(FleetSpec, flow index)`` —
+  site popularity, benign/sensitive mix, vantage, strategy, and trial
+  seed all derive from crc32 hashes of the spec seed and the index;
+- flows are partitioned into ``spec.groups`` client groups (round
+  robin by index), each group owning one shared GFW installation, so a
+  group is a pure function of ``(spec, group_index)`` and groups can
+  run serially or via :func:`run_sharded` with byte-identical merged
+  results and trial-semantic telemetry;
+- within a group, flows run in waves of ``spec.window`` concurrent
+  trials on one ``BatchSim(shared=True)`` heap; the heap's
+  ``(time, seq)`` order is deterministic, so the race for shared
+  tables replays exactly.
+
+The eviction-induced error accounting (a sensitive flow whose TCB was
+LRU-evicted mid-stream sails past the DPI; a benign flow reset purely
+because a *different* flow blacklisted its host pair) is an
+**extension** of the paper's model — the paper never measured the live
+GFW under load — and is labelled as such in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.apps.http import HTTPClient
+from repro.core.intang import INTANG
+from repro.experiments.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.experiments.parallel import note_trials, run_sharded
+from repro.experiments.runner import BENIGN_PATH, SENSITIVE_PATH, Outcome, classify
+from repro.experiments.scenarios import (
+    Scenario,
+    acquire_scenario,
+    release_scenario,
+)
+from repro.experiments.vantage import CHINA_VANTAGE_POINTS, VantagePoint
+from repro.experiments.websites import Website, outside_china_catalog
+from repro.gfw.blacklist import Blacklist
+from repro.gfw.cluster import GFWCluster
+from repro.gfw.flow import FlowTable, GFWFlow, GFWFlowState
+from repro.gfw.models import model_variant_configs
+from repro.netsim.batch import BatchSim
+from repro.netstack.packet import recycle_packets
+from repro.strategies.registry import TABLE1_ROWS
+from repro.telemetry.events import get_bus
+from repro.telemetry.metrics import get_registry
+
+__all__ = [
+    "FleetSpec",
+    "FlowSpec",
+    "FleetResult",
+    "SharedGFWState",
+    "flow_spec",
+    "site_index",
+    "run_fleet",
+    "run_fleet_group",
+    "effectiveness_curve",
+    "DEFAULT_FLEET_STRATEGIES",
+]
+
+#: Table-1 strategy ids in row order ("none" first), the default
+#: round-robin assignment pool for sensitive flows.
+DEFAULT_FLEET_STRATEGIES: Tuple[str, ...] = tuple(
+    dict.fromkeys(strategy_id for _, strategy_id, _ in TABLE1_ROWS)
+)
+
+_REGISTRY = get_registry()
+_FLEET_FLOWS = _REGISTRY.counter("fleet.flows")
+_FLEET_SUCCESS = _REGISTRY.counter("fleet.success")
+_FLEET_FAILURE1 = _REGISTRY.counter("fleet.failure1")
+_FLEET_FAILURE2 = _REGISTRY.counter("fleet.failure2")
+#: Sensitive flow that evaded with *no* DPI detection and no cluster
+#: miss-draw, whose TCB was LRU-evicted mid-stream: the censor forgot
+#: the flow before the keyword arrived.
+_FLEET_EVICTION_FN = _REGISTRY.counter("fleet.eviction_false_negatives")
+#: Benign flow that received forged resets — collateral from a host
+#: pair some *other* flow blacklisted.
+_FLEET_BLACKLIST_FP = _REGISTRY.counter("fleet.blacklist_false_positives")
+#: Evictions that destroyed a flow parked in the RESYNC state (§4)
+#: before it could re-anchor.
+_FLEET_EVICT_RESYNC = _REGISTRY.counter("fleet.evictions_in_resync")
+
+_OUTCOME_COUNTERS = {
+    Outcome.SUCCESS: _FLEET_SUCCESS,
+    Outcome.FAILURE1: _FLEET_FAILURE1,
+    Outcome.FAILURE2: _FLEET_FAILURE2,
+}
+
+
+def _unit(seed: int, index: int, salt: str) -> float:
+    """A stable uniform draw in [0, 1) from (seed, index, salt)."""
+    return (zlib.crc32(f"{seed}:{index}:{salt}".encode()) & 0xFFFFFFFF) / 2.0**32
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A deterministic description of a whole client population.
+
+    Every knob here is *workload* semantics: two runs with equal specs
+    produce byte-identical merged results regardless of sharding.  In
+    particular ``window`` (how many flows share one batch heap at a
+    time) and ``groups`` (how many independent censoring installations
+    the population is split across) change which flows race each other
+    for shared GFW state, so they live in the spec, not in the
+    execution layer.
+    """
+
+    #: Total client flows across all groups.
+    flows: int
+    seed: int = 2017
+    #: Catalog size for the heavy-tailed site popularity.
+    sites: int = 32
+    #: Zipf-like exponent: site at popularity rank r has weight
+    #: 1/(r+1)**alpha.
+    zipf_alpha: float = 1.1
+    #: Fraction of flows that request the sensitive path.
+    sensitive_fraction: float = 0.5
+    #: Strategy pool assigned round-robin to sensitive flows
+    #: ("none" = the paper's baseline client).
+    strategies: Tuple[str, ...] = DEFAULT_FLEET_STRATEGIES
+    #: Client groups == independent shared GFW installations; sharding
+    #: partitions groups (clients), never cells.
+    groups: int = 4
+    #: Concurrent flows per shared batch heap (wave size).
+    window: int = 64
+    #: GFW model variant for every device (see gfw/models.py).
+    gfw_variant: str = "evolved"
+    #: Shared flow-table capacity override; ``None`` keeps the
+    #: variant's ``GFWConfig.max_flows``.
+    max_flows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.flows < 1:
+            raise ValueError("fleet needs at least one flow")
+        if self.groups < 1 or self.window < 1 or self.sites < 1:
+            raise ValueError("groups, window, and sites must be >= 1")
+        if not 0.0 <= self.sensitive_fraction <= 1.0:
+            raise ValueError("sensitive_fraction must be within [0, 1]")
+        if self.zipf_alpha <= 0.0:
+            raise ValueError("zipf_alpha must be positive")
+        if not self.strategies:
+            raise ValueError("strategies pool must not be empty")
+        if self.max_flows is not None and self.max_flows < 1:
+            raise ValueError("max_flows override must be >= 1")
+        model_variant_configs(self.gfw_variant)  # validates the name
+
+    def group_indices(self, group: int) -> range:
+        """Global flow indices owned by ``group`` (round robin)."""
+        return range(group, self.flows, self.groups)
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One client flow, fully determined by ``(FleetSpec, index)``."""
+
+    index: int
+    vantage: VantagePoint
+    website: Website
+    sensitive: bool
+    #: ``None`` for benign flows (no interception framework at all);
+    #: ``"none"`` for sensitive baseline clients.
+    strategy_id: Optional[str]
+    seed: int
+
+    @property
+    def label(self) -> str:
+        """Aggregation bucket: strategy id, or ``benign``."""
+        if not self.sensitive:
+            return "benign"
+        return self.strategy_id or "none"
+
+
+@lru_cache(maxsize=64)
+def _site_cdf(sites: int, alpha: float) -> Tuple[float, ...]:
+    """Normalized CDF of the Zipf-like popularity distribution."""
+    weights = [1.0 / (rank + 1) ** alpha for rank in range(sites)]
+    total = sum(weights)
+    cdf: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cdf.append(acc)
+    cdf[-1] = 1.0
+    return tuple(cdf)
+
+
+def site_index(spec: FleetSpec, index: int) -> int:
+    """Popularity-rank site index for flow ``index`` (permutation-stable).
+
+    The draw hashes ``(spec.seed, index)`` directly — no RNG stream is
+    shared between flows — so any partition of the index space (group
+    round robin, process shards) sees exactly the same site per flow.
+    """
+    return bisect_right(
+        _site_cdf(spec.sites, spec.zipf_alpha), _unit(spec.seed, index, "site")
+    )
+
+
+def flow_spec(spec: FleetSpec, index: int) -> FlowSpec:
+    """The fully resolved workload of flow ``index`` (pure function)."""
+    catalog = outside_china_catalog(count=spec.sites)
+    website = catalog[site_index(spec, index)]
+    vantage = CHINA_VANTAGE_POINTS[index % len(CHINA_VANTAGE_POINTS)]
+    sensitive = _unit(spec.seed, index, "sensitive") < spec.sensitive_fraction
+    strategy_id: Optional[str] = None
+    if sensitive:
+        strategy_id = spec.strategies[index % len(spec.strategies)]
+    return FlowSpec(
+        index=index,
+        vantage=vantage,
+        website=website,
+        sensitive=sensitive,
+        strategy_id=strategy_id,
+        seed=zlib.crc32(f"{spec.seed}:{index}:trial".encode()) & 0x7FFFFFFF,
+    )
+
+
+class SharedGFWState:
+    """The one censoring installation an entire flow group shares.
+
+    Holds one flow table, blacklist, and blocked-IP set per device
+    position of the model variant, plus one cluster, and persists them
+    across every wave of the group — that persistence *is* the load:
+    wave N's blacklistings disrupt wave N+1's benign flows, and a full
+    table keeps evicting whichever flow was touched least recently.
+    """
+
+    def __init__(self, spec: FleetSpec, group: int) -> None:
+        configs = model_variant_configs(spec.gfw_variant)
+        group_rng = random.Random(
+            zlib.crc32(f"{spec.seed}:{group}:gfw".encode()) & 0xFFFFFFFF
+        )
+        self.cluster = GFWCluster(
+            rng=random.Random(group_rng.randrange(2**31)),
+            miss_probability=configs[0].miss_probability,
+        )
+        # NB3 coins are drawn once per installation (device __init__
+        # only draws when the cluster lacks them); pre-draw here from
+        # the group RNG so grafted devices all share one consistent
+        # installation period.
+        self.cluster.rst_resyncs_established = (
+            self.cluster.rng.random() < configs[0].resync_on_rst_probability
+        )
+        self.cluster.rst_resyncs_handshake = (
+            self.cluster.rng.random() < configs[0].resync_on_rst_handshake_probability
+        )
+        self.flow_tables: List[FlowTable] = []
+        self.blacklists: List[Blacklist] = []
+        self.blocked_ips: List[set] = []
+        #: Flow ids whose TCB was evicted while still mid-stream.
+        self.evicted_active_flows: Set[int] = set()
+        self.evictions_in_resync = 0
+        self._bus = get_bus()
+        for config in configs:
+            capacity = spec.max_flows or config.max_flows
+            table = FlowTable(capacity)
+            table.on_evict = self._record_eviction
+            self.flow_tables.append(table)
+            self.blacklists.append(Blacklist(config.blacklist_duration))
+            self.blocked_ips.append(set())
+
+    def _record_eviction(self, key: object, flow: GFWFlow) -> None:
+        # Namespaced keys are (flow_id, ConnKey); the fleet engine
+        # always namespaces, but stay defensive about plain keys.
+        namespace = (
+            key[0]
+            if isinstance(key, tuple) and key and isinstance(key[0], int)
+            else None
+        )
+        in_resync = flow.state is GFWFlowState.RESYNC
+        if in_resync:
+            self.evictions_in_resync += 1
+            _FLEET_EVICT_RESYNC.inc()
+        if not flow.fin_seen and namespace is not None:
+            self.evicted_active_flows.add(namespace)
+        self._bus.publish(
+            "fleet",
+            "flow_evicted",
+            flow=namespace,
+            state=flow.state.value,
+            after_fin=flow.fin_seen,
+            in_resync=in_resync,
+        )
+
+    def graft(self, scenario: Scenario, flow_id: int) -> None:
+        """Point a freshly built scenario's devices at the shared state.
+
+        Safe because ``build_scenario`` constructs brand-new
+        ``GFWDevice`` objects on every (re)build — the per-scenario
+        tables we displace here are garbage, and per-flow measurement
+        hooks (``detections``, reset counts) stay on the private
+        device, so classification remains per-flow.
+        """
+        for position, device in enumerate(scenario.gfw_devices):
+            device.flows = self.flow_tables[position]
+            device.blacklist = self.blacklists[position]
+            device.blocked_ips = self.blocked_ips[position]
+            device.cluster = self.cluster
+            device.flow_namespace = flow_id
+
+    def end_wave(self) -> None:
+        """Per-wave housekeeping: drop the cluster's per-flow miss cache.
+
+        Flows complete within their wave, so their miss draws are dead;
+        clearing bounds the cache for million-flow runs.  Table,
+        blacklist, and blocked-IP state live on — that is the load.
+        """
+        self.cluster.new_trial()
+
+    @property
+    def peak_flows_tracked(self) -> int:
+        return max(table.peak_tracked for table in self.flow_tables)
+
+
+@dataclass
+class _FleetFlowContext:
+    """One in-flight fleet flow between setup and finalization."""
+
+    flow: FlowSpec
+    scenario: Scenario
+    intang: Optional[INTANG]
+    exchange: object
+
+
+def _fleet_flow_setup(
+    spec: FleetSpec,
+    flow: FlowSpec,
+    shared: SharedGFWState,
+    batch: BatchSim,
+    calibration: Calibration,
+) -> _FleetFlowContext:
+    """Lease a scenario, graft the shared censor, queue the workload."""
+    scenario = acquire_scenario(
+        vantage=flow.vantage,
+        website=flow.website,
+        calibration=calibration,
+        seed=flow.seed,
+        workload="http",
+        gfw_variant=spec.gfw_variant,
+        lease=True,
+    )
+    batch.adopt(scenario.clock, flow_id=flow.index)
+    shared.graft(scenario, flow.index)
+    intang: Optional[INTANG] = None
+    if flow.strategy_id is not None and flow.strategy_id != "none":
+        intang = INTANG(
+            host=scenario.client,
+            tcp_host=scenario.client_tcp,
+            clock=scenario.clock,
+            network=scenario.network,
+            rng=random.Random(flow.seed ^ 0x5EED),
+            fixed_strategy=flow.strategy_id,
+            hop_delta=calibration.hop_delta,
+        )
+        if intang.hop_estimator is not None:
+            intang.hop_estimator.measure(flow.website.ip)
+    scenario.apply_route_drift()
+    client = HTTPClient(scenario.client_tcp)
+    _conn, exchange = client.get(
+        flow.website.ip,
+        host=flow.website.name,
+        path=SENSITIVE_PATH if flow.sensitive else BENIGN_PATH,
+    )
+    return _FleetFlowContext(
+        flow=flow, scenario=scenario, intang=intang, exchange=exchange
+    )
+
+
+@dataclass
+class FleetGroupResult:
+    """Order-independent aggregates of one client group."""
+
+    group: int
+    flows: int
+    flow_events: int
+    #: label -> [success, failure1, failure2] counts.
+    outcomes: Dict[str, List[int]] = field(default_factory=dict)
+    eviction_false_negatives: int = 0
+    blacklist_false_positives: int = 0
+    evictions_in_resync: int = 0
+    flows_created: int = 0
+    flows_evicted: int = 0
+    flows_evicted_active: int = 0
+    flows_evicted_after_fin: int = 0
+    blacklistings: int = 0
+    peak_flows_tracked: int = 0
+
+
+def _finalize_flow(
+    ctx: _FleetFlowContext, shared: SharedGFWState, result: FleetGroupResult
+) -> None:
+    """Classify one finished flow and attribute shared-state errors."""
+    scenario = ctx.scenario
+    flow = ctx.flow
+    resets = scenario.gfw_resets_received()
+    outcome = classify(ctx.exchange.got_response, resets)
+    bucket = result.outcomes.setdefault(flow.label, [0, 0, 0])
+    bucket[
+        0 if outcome is Outcome.SUCCESS
+        else 1 if outcome is Outcome.FAILURE1
+        else 2
+    ] += 1
+    _FLEET_FLOWS.inc()
+    _OUTCOME_COUNTERS[outcome].inc()
+    bus = get_bus()
+    if (
+        flow.sensitive
+        and outcome is Outcome.SUCCESS
+        and scenario.gfw_detections() == 0
+        and not any(d.missed_detections for d in scenario.gfw_devices)
+        and flow.index in shared.evicted_active_flows
+    ):
+        result.eviction_false_negatives += 1
+        _FLEET_EVICTION_FN.inc()
+        bus.publish(
+            "fleet",
+            "eviction_false_negative",
+            time=scenario.clock.now,
+            flow=flow.index,
+            site=flow.website.name,
+            strategy=flow.label,
+        )
+    if not flow.sensitive and resets > 0:
+        result.blacklist_false_positives += 1
+        _FLEET_BLACKLIST_FP.inc()
+        bus.publish(
+            "fleet",
+            "blacklist_false_positive",
+            time=scenario.clock.now,
+            flow=flow.index,
+            site=flow.website.name,
+            resets=resets,
+        )
+    # The record is final; harvest the sniffer's forged packets into
+    # the packet free lists and hand the scenario back to the pool.
+    if scenario.gfw_packets_at_client:
+        recycle_packets(scenario.gfw_packets_at_client)
+        scenario.gfw_packets_at_client.clear()
+    release_scenario(scenario)
+
+
+def run_fleet_group(
+    spec: FleetSpec,
+    group: int,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> FleetGroupResult:
+    """Run one client group against its shared censor, wave by wave.
+
+    Pure function of ``(spec, group)``: this is the unit
+    :func:`run_fleet` shards across processes.
+    """
+    shared = SharedGFWState(spec, group)
+    indices = list(spec.group_indices(group))
+    result = FleetGroupResult(group=group, flows=len(indices), flow_events=0)
+    for start in range(0, len(indices), spec.window):
+        wave = indices[start : start + spec.window]
+        batch = BatchSim(shared=True)
+        contexts: List[_FleetFlowContext] = []
+        try:
+            for index in wave:
+                contexts.append(
+                    _fleet_flow_setup(
+                        spec, flow_spec(spec, index), shared, batch, calibration
+                    )
+                )
+            result.flow_events += batch.run(
+                [ctx.scenario.calibration.trial_duration for ctx in contexts]
+            )
+        finally:
+            batch.release()
+        for ctx in contexts:
+            _finalize_flow(ctx, shared, result)
+        shared.end_wave()
+    result.evictions_in_resync = shared.evictions_in_resync
+    result.flows_created = sum(t.flows_created for t in shared.flow_tables)
+    result.flows_evicted = sum(t.flows_evicted for t in shared.flow_tables)
+    result.flows_evicted_active = sum(
+        t.flows_evicted_active for t in shared.flow_tables
+    )
+    result.flows_evicted_after_fin = sum(
+        t.flows_evicted_after_fin for t in shared.flow_tables
+    )
+    result.blacklistings = sum(b.total_blacklistings for b in shared.blacklists)
+    result.peak_flows_tracked = shared.peak_flows_tracked
+    return result
+
+
+def _fleet_group_worker(task: Tuple[FleetSpec, int]) -> FleetGroupResult:
+    """Module-level shard worker (pickles); counts its own trials."""
+    spec, group = task
+    result = run_fleet_group(spec, group)
+    note_trials(result.flows)
+    return result
+
+
+@dataclass
+class FleetResult:
+    """Merged, order-independent aggregates of a whole fleet run."""
+
+    spec: FleetSpec
+    flows: int
+    flow_events: int
+    outcomes: Dict[str, List[int]]
+    eviction_false_negatives: int
+    blacklist_false_positives: int
+    evictions_in_resync: int
+    flows_created: int
+    flows_evicted: int
+    flows_evicted_active: int
+    flows_evicted_after_fin: int
+    blacklistings: int
+    peak_flows_tracked: int
+
+    @classmethod
+    def merge(
+        cls, spec: FleetSpec, groups: Sequence[FleetGroupResult]
+    ) -> "FleetResult":
+        outcomes: Dict[str, List[int]] = {}
+        for group in groups:
+            for label, counts in group.outcomes.items():
+                bucket = outcomes.setdefault(label, [0, 0, 0])
+                for i in range(3):
+                    bucket[i] += counts[i]
+        return cls(
+            spec=spec,
+            flows=sum(g.flows for g in groups),
+            flow_events=sum(g.flow_events for g in groups),
+            outcomes={label: outcomes[label] for label in sorted(outcomes)},
+            eviction_false_negatives=sum(
+                g.eviction_false_negatives for g in groups
+            ),
+            blacklist_false_positives=sum(
+                g.blacklist_false_positives for g in groups
+            ),
+            evictions_in_resync=sum(g.evictions_in_resync for g in groups),
+            flows_created=sum(g.flows_created for g in groups),
+            flows_evicted=sum(g.flows_evicted for g in groups),
+            flows_evicted_active=sum(g.flows_evicted_active for g in groups),
+            flows_evicted_after_fin=sum(
+                g.flows_evicted_after_fin for g in groups
+            ),
+            blacklistings=sum(g.blacklistings for g in groups),
+            peak_flows_tracked=max(g.peak_flows_tracked for g in groups),
+        )
+
+    def success_rate(self, label: str) -> Optional[float]:
+        counts = self.outcomes.get(label)
+        if not counts or sum(counts) == 0:
+            return None
+        return counts[0] / sum(counts)
+
+    def strategy_rates(self) -> Dict[str, float]:
+        """Evasion success per strategy label (benign bucket excluded)."""
+        rates = {}
+        for label in self.outcomes:
+            if label == "benign":
+                continue
+            rate = self.success_rate(label)
+            if rate is not None:
+                rates[label] = rate
+        return rates
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": {
+                "flows": self.spec.flows,
+                "seed": self.spec.seed,
+                "sites": self.spec.sites,
+                "zipf_alpha": self.spec.zipf_alpha,
+                "sensitive_fraction": self.spec.sensitive_fraction,
+                "strategies": list(self.spec.strategies),
+                "groups": self.spec.groups,
+                "window": self.spec.window,
+                "gfw_variant": self.spec.gfw_variant,
+                "max_flows": self.spec.max_flows,
+            },
+            "flows": self.flows,
+            "flow_events": self.flow_events,
+            "outcomes": {k: list(v) for k, v in self.outcomes.items()},
+            "strategy_success": self.strategy_rates(),
+            "eviction_false_negatives": self.eviction_false_negatives,
+            "blacklist_false_positives": self.blacklist_false_positives,
+            "evictions_in_resync": self.evictions_in_resync,
+            "flows_created": self.flows_created,
+            "flows_evicted": self.flows_evicted,
+            "flows_evicted_active": self.flows_evicted_active,
+            "flows_evicted_after_fin": self.flows_evicted_after_fin,
+            "blacklistings": self.blacklistings,
+            "peak_flows_tracked": self.peak_flows_tracked,
+        }
+
+
+def run_fleet(
+    spec: FleetSpec,
+    shards: Optional[int] = 1,
+    workers: Optional[int] = None,
+) -> FleetResult:
+    """Run the whole fleet, optionally sharding groups across processes.
+
+    Sharding partitions *clients* (whole groups, each with its own
+    shared censor), never cells: a group never straddles two
+    processes, so shared-state coupling is identical for any shard
+    count and the merged result is byte-identical to the serial run
+    (telemetry modulo execution-strategy counters, exactly like
+    ``run_sharded`` elsewhere).
+    """
+    tasks = [(spec, group) for group in range(spec.groups)]
+    trials_per_task = [len(spec.group_indices(g)) for g in range(spec.groups)]
+    results = run_sharded(
+        _fleet_group_worker,
+        tasks,
+        shards=1 if shards is None else shards,
+        workers=workers,
+        trials_per_task=trials_per_task,
+    )
+    return FleetResult.merge(spec, results)
+
+
+def effectiveness_curve(
+    base_spec: FleetSpec,
+    sizes: Sequence[int],
+    shards: Optional[int] = 1,
+    workers: Optional[int] = None,
+) -> List[Tuple[int, FleetResult]]:
+    """Strategy effectiveness as fleet size sweeps past ``max_flows``.
+
+    Returns ``(fleet_size, FleetResult)`` per point; plotting
+    ``strategy_rates()`` against size shows what the paper could never
+    measure — how each Table-1 strategy fares once the censor's bounded
+    TCB table starts thrashing.
+    """
+    points: List[Tuple[int, FleetResult]] = []
+    for size in sizes:
+        spec = replace(base_spec, flows=size)
+        points.append((size, run_fleet(spec, shards=shards, workers=workers)))
+    return points

@@ -103,6 +103,12 @@ class GFWDevice(Tap):
         self.injector = ResetInjector(config.reset_type, self.rng, name)
         self.blacklist = Blacklist(config.blacklist_duration)
         self.flows: FlowTable = FlowTable(config.max_flows)
+        #: Shared-device batch mode (fleet workloads): when set, every
+        #: flow-table key is prefixed with this namespace so the flows of
+        #: many multiplexed client trials stay distinct inside *one*
+        #: shared :class:`FlowTable` even when their four-tuples collide.
+        #: ``None`` (the default) keeps the historical un-prefixed keys.
+        self.flow_namespace: Optional[int] = None
         self._fragments = FragmentReassembler(policy=config.ip_frag_policy)
         #: IPs blocked wholesale after Tor active probing (§7.3).
         self.blocked_ips: set = set()
@@ -130,6 +136,7 @@ class GFWDevice(Tap):
         self._metric_teardown = _METRIC_TEARDOWN
         self._metric_resync_entered = _METRIC_RESYNC_ENTERED
         self._metric_resync_exited = _METRIC_RESYNC_EXITED
+        self.flows.on_evict = self._on_flow_evicted
         # NB3 behaviour is consistent per installation per period (§4, §8):
         # draw once per cluster and share across co-located devices.
         if not hasattr(self.cluster, "rst_resyncs_established"):
@@ -196,6 +203,29 @@ class GFWDevice(Tap):
             device=self.name, via=via, adopted_seq=seq & 0xFFFFFFFF,
         )
 
+    def _on_flow_evicted(self, key: object, flow: GFWFlow) -> None:
+        """Capacity eviction callback: name the flow the censor forgot.
+
+        The event is the attribution hook for eviction-induced errors:
+        an ``active`` eviction of a flow the DPI had not finished with is
+        a censorship false negative in the making, and one evicted out of
+        RESYNC loses the pending resynchronization entirely.
+        """
+        # Namespaced keys are ``(int, ConnKey)``; plain keys are ConnKey
+        # 2-tuples of (ip, port) endpoints, so the int test disambiguates.
+        namespace = (
+            key[0]
+            if isinstance(key, tuple) and key and isinstance(key[0], int)
+            else None
+        )
+        self._bus.publish(
+            "gfw", "flow_evicted", time=self.clock.now, device=self.name,
+            namespace=namespace,
+            state=flow.state.value,
+            after_fin=flow.fin_seen,
+            believed_client=f"{flow.believed_client[0]}:{flow.believed_client[1]}",
+        )
+
     def _teardown(self, key: object, cause: str) -> None:
         del self.flows[key]
         self._metric_teardown.inc()
@@ -211,6 +241,8 @@ class GFWDevice(Tap):
         src = (packet.src, segment.src_port)
         dst = (packet.dst, segment.dst_port)
         key = connection_key(src, dst)
+        if self.flow_namespace is not None:
+            key = (self.flow_namespace, key)
 
         if self.blacklist.contains(packet.src, packet.dst, now):
             self._enforce_blacklist(packet, segment, now)
@@ -256,9 +288,11 @@ class GFWDevice(Tap):
         if flags & RST:
             self._on_rst(flow, key, segment)
             return
-        if flags & FIN and self.config.fin_tears_down:
-            self._teardown(key, "fin")
-            return
+        if flags & FIN:
+            flow.fin_seen = True
+            if self.config.fin_tears_down:
+                self._teardown(key, "fin")
+                return
         self._on_data_or_ack(flow, key, from_client, segment, now)
 
     def _maybe_create_flow(
@@ -608,6 +642,8 @@ class GFWDevice(Tap):
             "flows_tracked": len(self.flows),
             "flows_created": self.flows.flows_created,
             "flows_evicted": self.flows.flows_evicted,
+            "flows_evicted_active": self.flows.flows_evicted_active,
+            "flows_evicted_after_fin": self.flows.flows_evicted_after_fin,
             "peak_flows_tracked": self.flows.peak_tracked,
             "flow_table_capacity": self.flows.capacity,
             "bytes_inspected": self.bytes_inspected,

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Tuple, ValuesView
+from typing import Callable, Iterator, Optional, Tuple, ValuesView
 
 from repro.netstack.fragment import OverlapPolicy
 from repro.netstack.packet import seq_add
@@ -70,6 +70,11 @@ class GFWFlow:
     handshake_complete: bool = False
     #: Latched once this flow has triggered enforcement.
     punished: bool = False
+    #: Set when the device has observed a FIN on this connection.  Under
+    #: ``fin_tears_down=False`` (the evolved default) the TCB survives the
+    #: FIN, so the table distinguishes evicting a *finished* flow (cheap,
+    #: no censorship consequence) from evicting one still mid-stream.
+    fin_seen: bool = False
 
     def init_monitoring(
         self,
@@ -133,6 +138,17 @@ class FlowTable:
     every create/evict into the process metrics registry
     (``gfw.flows_created`` / ``gfw.flows_evicted``, process-lifetime,
     merged across the worker pool).
+
+    Evictions are split by what was lost: ``flows_evicted_active`` counts
+    flows dropped mid-stream (the censor loses inspection state it still
+    needed — an evicted sensitive flow becomes a false negative), while
+    ``flows_evicted_after_fin`` counts flows whose FIN the device had
+    already seen (bookkeeping churn only).  The registry mirrors the
+    split as ``gfw.flows_evicted_active`` / ``gfw.flows_evicted_after_fin``.
+
+    ``on_evict`` (when set) is called as ``on_evict(key, flow)`` for
+    every capacity eviction — the fleet engine uses it to attribute
+    eviction-induced misclassifications to specific client flows.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -142,10 +158,17 @@ class FlowTable:
         self._flows: "OrderedDict[object, GFWFlow]" = OrderedDict()
         self.flows_created = 0
         self.flows_evicted = 0
+        self.flows_evicted_active = 0
+        self.flows_evicted_after_fin = 0
         self.peak_tracked = 0
+        self.on_evict: Optional[Callable[[object, GFWFlow], None]] = None
         registry = get_registry()
         self._metric_created = registry.counter("gfw.flows_created")
         self._metric_evicted = registry.counter("gfw.flows_evicted")
+        self._metric_evicted_active = registry.counter("gfw.flows_evicted_active")
+        self._metric_evicted_after_fin = registry.counter(
+            "gfw.flows_evicted_after_fin"
+        )
 
     # -- the dict-shaped API the device and benches use ------------------
     def get(self, key: object) -> Optional[GFWFlow]:
@@ -166,9 +189,17 @@ class FlowTable:
             self._flows.move_to_end(key)
             return
         if len(self._flows) >= self.capacity:
-            self._flows.popitem(last=False)
+            evicted_key, evicted = self._flows.popitem(last=False)
             self.flows_evicted += 1
             self._metric_evicted.inc()
+            if evicted.fin_seen:
+                self.flows_evicted_after_fin += 1
+                self._metric_evicted_after_fin.inc()
+            else:
+                self.flows_evicted_active += 1
+                self._metric_evicted_active.inc()
+            if self.on_evict is not None:
+                self.on_evict(evicted_key, evicted)
         self._flows[key] = flow
         self.flows_created += 1
         self._metric_created.inc()
@@ -205,6 +236,8 @@ class FlowTable:
         self._flows.clear()
         self.flows_created = 0
         self.flows_evicted = 0
+        self.flows_evicted_active = 0
+        self.flows_evicted_after_fin = 0
         self.peak_tracked = 0
 
 

@@ -29,12 +29,31 @@ Correctness rests on two invariants:
 An event popped past its own trial's horizon is discarded, which is
 observably identical to the serial run loop leaving it queued (the
 scenario is reset before any later run could fire it).
+
+**Shared-device batch mode** (``BatchSim(shared=True)``) inverts the
+independence contract on purpose: the fleet engine multiplexes many
+*client flows* whose GFW devices deliberately share one flow table,
+blacklist, and cluster, so the censor's stateful machinery is exercised
+under concurrent load (LRU churn, resync pressure, blacklist collateral).
+Two things change:
+
+- each adoption carries an explicit **flow id** (:meth:`adopt`'s
+  ``flow_id``), a stable workload-level identity that shared devices use
+  to namespace their flow-table keys.  Trial ids restart at 0 for every
+  ``BatchSim``; flow ids are global across the waves of a fleet run, so
+  shared state keyed by them never aliases across waves;
+- cross-trial event interleaving is now *observable* (trials race for
+  the shared tables in heap order).  The heap order itself is still
+  deterministic — ``(time, seq)`` keys are pure functions of the
+  adopted trials — so a fleet wave remains reproducible; it is just no
+  longer equivalent to running its trials one at a time, which is the
+  entire point.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.netsim.simclock import SimClock, _INF
 
@@ -62,29 +81,51 @@ class BatchSim:
     ``adopt`` must see a freshly reset clock (empty queue); resetting a
     clock *while* adopted would clear the shared heap and is a contract
     violation.
+
+    ``shared=True`` declares shared-device mode: the caller's trials
+    intentionally share mutable device state (the fleet workload), and
+    each adoption may carry an explicit ``flow_id`` — the stable
+    workload-level identity shared devices key their per-flow state by.
     """
 
-    __slots__ = ("_queue", "_clocks")
+    __slots__ = ("_queue", "_clocks", "_flow_ids", "shared")
 
-    def __init__(self) -> None:
+    def __init__(self, shared: bool = False) -> None:
         self._queue: list = []
         self._clocks: List[SimClock] = []
+        self._flow_ids: List[int] = []
+        self.shared = shared
 
     @property
     def trials(self) -> int:
         return len(self._clocks)
 
-    def adopt(self, clock: SimClock) -> int:
-        """Point ``clock`` at the shared heap; returns its trial id."""
+    def adopt(self, clock: SimClock, flow_id: Optional[int] = None) -> int:
+        """Point ``clock`` at the shared heap; returns its trial id.
+
+        ``flow_id`` (shared-device mode) is the workload-level flow
+        identity for this trial; it defaults to the trial id.  Flow ids
+        must be unique within one batch — duplicate ids would alias
+        shared per-flow state between two live trials.
+        """
         if clock._queue:
             raise RuntimeError("adopt requires a freshly reset clock")
         if any(adopted is clock for adopted in self._clocks):
             raise RuntimeError("clock already adopted")
         tid = len(self._clocks)
+        if flow_id is None:
+            flow_id = tid
+        elif flow_id in self._flow_ids:
+            raise RuntimeError(f"flow id {flow_id} already adopted in this batch")
         self._clocks.append(clock)
+        self._flow_ids.append(flow_id)
         clock._queue = self._queue
         clock._seq = tid << TRIAL_SHIFT
         return tid
+
+    def flow_id_for(self, tid: int) -> int:
+        """The workload flow id adopted under trial id ``tid``."""
+        return self._flow_ids[tid]
 
     def run(
         self,
@@ -144,4 +185,5 @@ class BatchSim:
             clock._queue = []
             clock._run_until = _INF
         self._clocks.clear()
+        self._flow_ids.clear()
         self._queue = []

@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from repro.netstack.packet import ACK, IPPacket, SYN, TCPSegment
+from repro.netstack.packet import ACK, FIN, IPPacket, SYN, TCPSegment
 from repro.netsim.path import Direction
 from repro.netsim.simclock import SimClock
 from repro.gfw.device import GFWDevice
@@ -163,6 +163,111 @@ class TestDeviceEviction:
             0.4,
         )
         assert not device.detections
+
+
+def fin_packet(port: int, seq: int) -> IPPacket:
+    segment = TCPSegment(src_port=port, dst_port=80, seq=seq, ack=1, flags=FIN | ACK)
+    return IPPacket(src=CLIENT_IP, dst=SERVER_IP, payload=segment)
+
+
+class TestEvictionSplit:
+    """Evictions-while-active vs. evictions-after-FIN (fleet accounting)."""
+
+    def test_table_splits_active_and_after_fin(self):
+        from repro.telemetry import get_registry
+
+        registry = get_registry()
+        active_before = registry.counter_value("gfw.flows_evicted_active")
+        fin_before = registry.counter_value("gfw.flows_evicted_after_fin")
+        table = FlowTable(capacity=2)
+        finished = make_flow(1)
+        finished.fin_seen = True
+        table[connection_key((CLIENT_IP, 1), (SERVER_IP, 80))] = finished
+        table[connection_key((CLIENT_IP, 2), (SERVER_IP, 80))] = make_flow(2)
+        table[connection_key((CLIENT_IP, 3), (SERVER_IP, 80))] = make_flow(3)
+        # The finished flow went first (LRU) and counted as after-FIN.
+        assert table.flows_evicted_after_fin == 1
+        assert table.flows_evicted_active == 0
+        table[connection_key((CLIENT_IP, 4), (SERVER_IP, 80))] = make_flow(4)
+        # The second eviction lost a mid-stream flow.
+        assert table.flows_evicted_active == 1
+        assert table.flows_evicted == 2
+        # The registry mirrors the split, process-lifetime.
+        assert registry.counter_value("gfw.flows_evicted_active") == active_before + 1
+        assert registry.counter_value("gfw.flows_evicted_after_fin") == fin_before + 1
+        table.reset()
+        assert table.flows_evicted_active == 0
+        assert table.flows_evicted_after_fin == 0
+
+    def test_on_evict_callback_names_the_lost_flow(self):
+        table = FlowTable(capacity=1)
+        seen = []
+        table.on_evict = lambda key, flow: seen.append((key, flow))
+        key_a = connection_key((CLIENT_IP, 1), (SERVER_IP, 80))
+        table[key_a] = make_flow(1)
+        table[connection_key((CLIENT_IP, 2), (SERVER_IP, 80))] = make_flow(2)
+        assert len(seen) == 1
+        assert seen[0][0] == key_a
+        assert seen[0][1].believed_client == (CLIENT_IP, 1)
+        # Overwrites under an existing key never fire the callback.
+        key_b = connection_key((CLIENT_IP, 2), (SERVER_IP, 80))
+        table[key_b] = make_flow(2)
+        assert len(seen) == 1
+
+    def test_device_fin_latches_without_teardown(self):
+        """Under the evolved model (``fin_tears_down=False``) the TCB
+        survives the FIN but remembers it, so a later capacity eviction
+        counts as after-FIN bookkeeping, not a mid-stream loss."""
+        device = make_device(max_flows=1)
+        device.observe(syn_packet(7001), Direction.CLIENT_TO_SERVER, 0.0)
+        device.observe(fin_packet(7001, seq=1001), Direction.CLIENT_TO_SERVER, 0.1)
+        flow = device.flow_for(CLIENT_IP, 7001, SERVER_IP, 80)
+        assert flow is not None and flow.fin_seen
+        device.observe(syn_packet(7002), Direction.CLIENT_TO_SERVER, 0.2)  # evicts
+        assert device.flows.flows_evicted_after_fin == 1
+        assert device.flows.flows_evicted_active == 0
+        assert device.stats()["flows_evicted_after_fin"] == 1
+
+    def test_old_model_fin_still_tears_down(self):
+        config = evolved_config(max_flows=4, fin_tears_down=True)
+        config.miss_probability = 0.0
+        device = GFWDevice(
+            "fin-test", hop=3, config=config, clock=SimClock(),
+            rng=random.Random(11),
+        )
+        device.observe(syn_packet(7101), Direction.CLIENT_TO_SERVER, 0.0)
+        device.observe(fin_packet(7101, seq=1001), Direction.CLIENT_TO_SERVER, 0.1)
+        assert device.flow_for(CLIENT_IP, 7101, SERVER_IP, 80) is None
+
+    def test_namespaced_keys_keep_identical_four_tuples_apart(self):
+        """Shared-device batch mode: two devices with different
+        ``flow_namespace`` values share one table without aliasing the
+        same four-tuple."""
+        shared = FlowTable(capacity=8)
+        devices = []
+        for namespace in (0, 1):
+            device = make_device()
+            device.flows = shared
+            device.flow_namespace = namespace
+            devices.append(device)
+        for device in devices:
+            device.observe(syn_packet(7201), Direction.CLIENT_TO_SERVER, 0.0)
+        assert shared.flows_created == 2
+        assert len(shared) == 2
+        assert devices[0].flow_for(CLIENT_IP, 7201, SERVER_IP, 80) is None
+
+    def test_eviction_event_carries_namespace(self):
+        from repro.telemetry import capturing
+
+        device = make_device(max_flows=1)
+        device.flow_namespace = 42
+        with capturing() as bus:
+            device.observe(syn_packet(7301), Direction.CLIENT_TO_SERVER, 0.0)
+            device.observe(syn_packet(7302), Direction.CLIENT_TO_SERVER, 0.1)
+            events = [e for e in bus.events() if e.kind == "flow_evicted"]
+        assert len(events) == 1
+        assert events[0].fields["namespace"] == 42
+        assert events[0].fields["after_fin"] is False
 
 
 class TestDeviceStats:

@@ -254,6 +254,7 @@ class TestGFWInstrumentation:
         stats = world.gfw.stats()
         assert set(stats) == {
             "flows_tracked", "flows_created", "flows_evicted",
+            "flows_evicted_active", "flows_evicted_after_fin",
             "peak_flows_tracked", "flow_table_capacity", "bytes_inspected",
             "matcher_state_bytes", "detections", "missed_detections",
             "resets_injected", "forged_synacks_injected",
