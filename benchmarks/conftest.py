@@ -136,6 +136,35 @@ def _existing_benches(path):
         return {}
 
 
+def _next_run_ordinal(benches):
+    """The session's monotonic run number: one past the highest recorded.
+
+    Wall-clock timestamps cannot order perf records — CI runners have
+    skewed clocks and reruns land in the same second — so each record
+    carries this ordinal instead, and ``repro obs report`` sorts the
+    trajectory by it."""
+    return max(
+        (record.get("run", 0) for record in benches.values()), default=0
+    ) + 1
+
+
+#: History lines kept in BENCH_history.jsonl (oldest dropped first).
+_HISTORY_KEEP = 40
+
+
+def _append_history(path, payload):
+    """Append this session's merged perf document as one JSONL line."""
+    lines = []
+    try:
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+    except OSError:
+        pass
+    lines.append(json.dumps(payload, sort_keys=True) + "\n")
+    with open(path, "w") as handle:
+        handle.writelines(lines[-_HISTORY_KEEP:])
+
+
 def pytest_sessionfinish(session, exitstatus):
     if not _PERF_RECORDS:
         return
@@ -146,15 +175,19 @@ def pytest_sessionfinish(session, exitstatus):
         workers = None
     path = os.path.join(RESULTS_DIR, "BENCH_perf.json")
     benches = _existing_benches(path)
+    run_ordinal = _next_run_ordinal(benches)
     for record in _PERF_RECORDS:
+        record["run"] = run_ordinal
         benches[record["bench"]] = record
     payload = {
+        "run": run_ordinal,
         "meta": {
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
             "workers": workers,
             "repro_full": full_scale(),
+            "run": run_ordinal,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         },
         "benches": sorted(benches.values(), key=lambda record: record["bench"]),
@@ -163,6 +196,7 @@ def pytest_sessionfinish(session, exitstatus):
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
+    _append_history(os.path.join(RESULTS_DIR, "BENCH_history.jsonl"), payload)
     _dump_telemetry_snapshot()
 
 

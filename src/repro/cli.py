@@ -13,6 +13,10 @@
         --out profile.pstats                # cProfile one cell
     python -m repro telemetry diagnose --strategy resync-desync
     python -m repro telemetry metrics --json # registry snapshot of a sweep
+    python -m repro obs trace --shards 2    # Chrome/Perfetto span trace
+    python -m repro obs export --latency    # OpenMetrics + p50/p90/p99
+    python -m repro obs flight --out dumps/ # anomaly flight-recorder dumps
+    python -m repro obs report --format md  # perf trajectory across runs
     python -m repro conformance run         # full differential matrix
     python -m repro conformance diff        # show drift vs tests/golden/
     python -m repro conformance bless       # accept new golden artifacts
@@ -429,8 +433,9 @@ def _conformance_diagnose_drift(drifts, results, limit: int, seed: int) -> None:
         conformance_site,
         profile_vantage,
     )
-    from repro.telemetry import diagnose_trial
+    from repro.telemetry import diagnose_trial, get_flight
 
+    flight = get_flight()
     for drift in drifts[:limit]:
         cell = results[drift.cell_id].cell
         diagnosis = diagnose_trial(
@@ -441,6 +446,18 @@ def _conformance_diagnose_drift(drifts, results, limit: int, seed: int) -> None:
             seed=(seed * 1_000_003) ^ cell.seed_salt(),
             gfw_variant=cell.gfw_variant,
         )
+        if flight.enabled:
+            # Drift is exactly the anomaly the flight recorder exists
+            # for: keep the diagnosing re-run's event ring.
+            flight.record(
+                "oracle_drift",
+                context={
+                    "cell": drift.cell_id,
+                    "observed": drift.observed,
+                    "detail": drift.format(),
+                },
+                events=diagnosis.events,
+            )
         print(f"\n== diagnosis: {drift.cell_id} " + "=" * 30)
         print(diagnosis.render())
     if len(drifts) > limit:
@@ -564,7 +581,7 @@ def _telemetry_metrics(args: argparse.Namespace) -> int:
         outside_china_catalog,
         run_strategy_cell,
     )
-    from repro.telemetry import get_registry
+    from repro.telemetry import filter_snapshot, get_registry
 
     sites = outside_china_catalog(count=args.sites)
     run_strategy_cell(
@@ -573,7 +590,9 @@ def _telemetry_metrics(args: argparse.Namespace) -> int:
         repeats=args.repeats, seed=args.seed, keyword=True,
     )
     registry = get_registry()
-    snapshot = registry.snapshot()
+    # --prefix narrows every output format identically: the JSON and
+    # the table views of one invocation always show the same names.
+    snapshot = filter_snapshot(registry.snapshot(), args.prefix)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as sink:
             json.dump(snapshot, sink, indent=2, sort_keys=True)
@@ -581,7 +600,7 @@ def _telemetry_metrics(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
     else:
-        print(registry.format_table())
+        print(registry.format_table(args.prefix or None))
     if args.check_baseline:
         rst = registry.counter_value("gfw.rst_sent")
         match = registry.counter_value("dpi.match")
@@ -690,6 +709,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"false negatives, {result.blacklist_false_positives} blacklist "
         f"false positives (extension, not a paper result)"
     )
+    latency = payload.get("flow_sim_latency") or {}
+    if latency.get("count"):
+        print(
+            f"  first-byte-to-verdict sim-latency: "
+            f"p50={latency['p50']:.3f}s p90={latency['p90']:.3f}s "
+            f"p99={latency['p99']:.3f}s "
+            f"(mean {latency['mean']:.3f}s over {latency['count']} flows)"
+        )
     for label, counts in result.outcomes.items():
         total = sum(counts)
         rate = counts[0] / total if total else 0.0
@@ -705,6 +732,227 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 for label, rate in sorted(point["strategy_success"].items())
             )
         )
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.mode == "trace":
+        return _obs_trace(args)
+    if args.mode == "export":
+        return _obs_export(args)
+    if args.mode == "flight":
+        return _obs_flight(args)
+    return _obs_report(args)
+
+
+def _obs_trace(args: argparse.Namespace) -> int:
+    """Span-trace a conformance subset and export Chrome trace-event JSON.
+
+    The tracer is force-enabled for the run (the parallel engine
+    forwards the flag into workers, whose drained span trees merge back
+    under the sweep span), then the whole forest is flattened to the
+    ``chrome://tracing`` / Perfetto trace-event format.
+    """
+    import json as json_module
+
+    from repro.conformance import run_matrix
+    from repro.telemetry import chrome_trace, enable_tracer, get_tracer
+
+    cells = _conformance_cells(args)
+    enable_tracer(True)
+    try:
+        get_tracer().clear()
+        results = run_matrix(
+            cells, repeats=args.repeats, seed=args.seed,
+            workers=args.workers, shards=args.shards,
+        )
+        trees = get_tracer().drain()
+    finally:
+        enable_tracer(False)
+    document = chrome_trace(trees)
+    print(
+        f"obs trace: {len(results)} cells -> {len(trees)} root spans, "
+        f"{len(document['traceEvents'])} trace events",
+        file=sys.stderr,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as sink:
+            json_module.dump(document, sink, indent=1, default=repr)
+            sink.write("\n")
+        print(f"wrote {args.out} (open in ui.perfetto.dev or "
+              f"chrome://tracing)", file=sys.stderr)
+    else:
+        print(json_module.dumps(document, indent=1, default=repr))
+    return 0
+
+
+def _obs_export(args: argparse.Namespace) -> int:
+    """Export a metrics snapshot as OpenMetrics text (plus latency table).
+
+    Reads a snapshot JSON written earlier (``--snapshot``, e.g. by
+    ``repro telemetry metrics --out``) or runs the same small sweep as
+    ``repro telemetry metrics`` to produce one.
+    """
+    import json as json_module
+
+    from repro.telemetry import filter_snapshot, latency_summary, openmetrics
+
+    if args.snapshot:
+        with open(args.snapshot, "r", encoding="utf-8") as handle:
+            snapshot = json_module.load(handle)
+    else:
+        from repro.experiments import (
+            CHINA_VANTAGE_POINTS,
+            DEFAULT_CALIBRATION,
+            outside_china_catalog,
+            run_strategy_cell,
+        )
+        from repro.telemetry import get_registry
+
+        run_strategy_cell(
+            args.strategy or "none", CHINA_VANTAGE_POINTS,
+            outside_china_catalog(count=args.sites), DEFAULT_CALIBRATION,
+            repeats=args.repeats, seed=args.seed, keyword=True,
+        )
+        snapshot = get_registry().snapshot()
+    snapshot = filter_snapshot(snapshot, args.prefix)
+    text = openmetrics(snapshot)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as sink:
+            sink.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    if args.latency:
+        summaries = latency_summary(snapshot)
+        if summaries:
+            print("\n# latency summaries (seconds)", file=sys.stderr)
+            for name, stats in sorted(summaries.items()):
+                print(
+                    f"#   {name}: n={stats['count']} "
+                    f"mean={stats['mean']:.4f} p50={stats['p50']:.4f} "
+                    f"p90={stats['p90']:.4f} p99={stats['p99']:.4f}",
+                    file=sys.stderr,
+                )
+    return 0
+
+
+def _obs_flight(args: argparse.Namespace) -> int:
+    """Run a fleet workload with the flight recorder armed; dump anomalies.
+
+    Each anomaly (eviction false negative, blacklist false positive)
+    produces one JSON dump: the per-flow event ring, the shared flow
+    table's TCB snapshots, and the packets still queued at the client.
+    """
+    import json as json_module
+    import os
+
+    from repro.experiments.fleet import FleetSpec, run_fleet
+    from repro.telemetry import enable_flight, get_flight
+
+    spec = FleetSpec(
+        flows=args.flows,
+        seed=args.seed,
+        sites=args.fleet_sites,
+        groups=args.groups,
+        window=args.window,
+        gfw_variant=args.variant,
+        max_flows=args.max_flows,
+    )
+    enable_flight(True)
+    try:
+        get_flight().clear()
+        result = run_fleet(spec, shards=1)
+        dumps = get_flight().drain()
+    finally:
+        enable_flight(False)
+    print(
+        f"obs flight: {result.flows} flows -> "
+        f"{result.eviction_false_negatives} eviction FNs, "
+        f"{result.blacklist_false_positives} blacklist FPs, "
+        f"{len(dumps)} flight dumps",
+        file=sys.stderr,
+    )
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for index, dump in enumerate(dumps):
+            path = os.path.join(
+                args.out, f"flight_{index:03d}_{dump['anomaly']}.json"
+            )
+            with open(path, "w", encoding="utf-8") as sink:
+                json_module.dump(dump, sink, indent=1, default=repr)
+                sink.write("\n")
+            print(f"wrote {path}", file=sys.stderr)
+        if not dumps:
+            # CI uploads this directory; an empty marker beats a
+            # missing-artifact failure when the run is clean.
+            marker = os.path.join(args.out, "NO_ANOMALIES")
+            with open(marker, "w", encoding="utf-8") as sink:
+                sink.write("flight recorder armed; no anomalies fired\n")
+    else:
+        print(json_module.dumps(dumps, indent=1, default=repr))
+    return 0
+
+
+def _obs_report(args: argparse.Namespace) -> int:
+    """Render the perf trajectory across recorded benchmark runs.
+
+    Reads ``BENCH_history.jsonl`` (one line per ``make bench`` run,
+    appended by the benchmark harness) and tabulates every throughput
+    figure across the last ``--last`` runs, with the delta from the
+    previous run.  Falls back to the single committed BENCH_perf.json
+    when no history exists yet.
+    """
+    import json as json_module
+    import os
+
+    documents = []
+    if os.path.exists(args.history):
+        with open(args.history, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    documents.append(json_module.loads(line))
+    elif os.path.exists(args.perf):
+        with open(args.perf, "r", encoding="utf-8") as handle:
+            documents.append(json_module.load(handle))
+    if not documents:
+        print(f"obs report: neither {args.history} nor {args.perf} exists",
+              file=sys.stderr)
+        return 2
+    documents.sort(key=lambda doc: doc.get("run", 0))
+    documents = documents[-args.last:]
+    runs = [doc.get("run", index) for index, doc in enumerate(documents)]
+    rates = [_perf_rates(doc) for doc in documents]
+    names = sorted(set().union(*rates))
+
+    def cell(value):
+        return f"{value:,.0f}" if value is not None else "-"
+
+    header = ["bench"] + [f"run {run}" for run in runs] + ["delta"]
+    rows = []
+    for name in names:
+        series = [r.get(name) for r in rates]
+        present = [v for v in series if v is not None]
+        delta = "-"
+        if len(present) >= 2 and present[-2]:
+            delta = f"{(present[-1] - present[-2]) / present[-2]:+.1%}"
+        rows.append([name] + [cell(v) for v in series] + [delta])
+    if args.format == "md":
+        print("| " + " | ".join(header) + " |")
+        print("|" + "|".join("---" for _ in header) + "|")
+        for row in rows:
+            print("| " + " | ".join(row) + " |")
+    else:
+        widths = [
+            max(len(str(row[i])) for row in [header] + rows)
+            for i in range(len(header))
+        ]
+        print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in rows:
+            print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    print(f"({len(documents)} run(s); rates are per-second throughput)",
+          file=sys.stderr)
     return 0
 
 
@@ -868,11 +1116,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--json", action="store_true",
                    help="[metrics] print the snapshot as JSON")
+    p.add_argument("--prefix", default=None,
+                   help="[metrics] restrict output (table and JSON alike) "
+                        "to instrument names with this prefix")
     p.add_argument("--out", default=None,
                    help="[metrics] also write the JSON snapshot here")
     p.add_argument("--check-baseline", action="store_true",
                    help="[metrics] exit nonzero unless the sweep saw "
                         "dpi.match and gfw.rst_sent")
+
+    p = sub.add_parser(
+        "obs",
+        help="run observability: span traces, exporters, flight dumps, "
+             "perf trajectory",
+    )
+    p.add_argument("mode", choices=("trace", "export", "flight", "report"))
+    p.add_argument("--strategies", default="tcb-teardown-rst/ttl",
+                   help="[trace] comma-separated strategy ids for the "
+                        "traced conformance subset")
+    p.add_argument("--variants", default="evolved",
+                   help="[trace] comma-separated GFW model variants")
+    p.add_argument("--profiles", default="neutral",
+                   help="[trace] comma-separated middlebox profiles")
+    p.add_argument("--faults", default="clean",
+                   help="[trace] comma-separated fault-grid points")
+    p.add_argument("--repeats", type=int, default=4,
+                   help="[trace/export] repeats per cell / sweep")
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--workers", type=int, default=None,
+                   help="[trace] process-pool size (default: REPRO_WORKERS)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="[trace] persistent shard runner (span trees merge "
+                        "across shards)")
+    p.add_argument("--snapshot", default=None,
+                   help="[export] read this snapshot JSON instead of "
+                        "running a sweep")
+    p.add_argument("--strategy", default=None,
+                   help="[export] strategy id for the fallback sweep")
+    p.add_argument("--sites", type=int, default=4,
+                   help="[export] catalog size for the fallback sweep")
+    p.add_argument("--prefix", default=None,
+                   help="[export] restrict to instrument names with this "
+                        "prefix")
+    p.add_argument("--latency", action="store_true",
+                   help="[export] also print p50/p90/p99 latency summaries")
+    p.add_argument("--flows", type=int, default=120,
+                   help="[flight] total fleet flows")
+    p.add_argument("--groups", type=int, default=3,
+                   help="[flight] client groups")
+    p.add_argument("--window", type=int, default=16,
+                   help="[flight] concurrent flows per shared batch heap")
+    p.add_argument("--max-flows", type=int, default=24, dest="max_flows",
+                   help="[flight] shared flow-table capacity")
+    p.add_argument("--fleet-sites", type=int, default=12, dest="fleet_sites",
+                   help="[flight] catalog size for the fleet workload")
+    p.add_argument("--variant", default="evolved",
+                   help="[flight] GFW model variant")
+    p.add_argument("--history", default="benchmarks/results/BENCH_history.jsonl",
+                   help="[report] benchmark-history JSONL path")
+    p.add_argument("--perf", default="benchmarks/results/BENCH_perf.json",
+                   help="[report] fallback single BENCH_perf.json")
+    p.add_argument("--last", type=int, default=8,
+                   help="[report] runs of history to tabulate")
+    p.add_argument("--format", choices=("table", "md"), default="table",
+                   help="[report] output format")
+    p.add_argument("--out", default=None,
+                   help="[trace/export] output file; [flight] dump directory")
     return parser
 
 
@@ -892,6 +1201,7 @@ _COMMANDS = {
     "conformance": _cmd_conformance,
     "telemetry": _cmd_telemetry,
     "fleet": _cmd_fleet,
+    "obs": _cmd_obs,
 }
 
 

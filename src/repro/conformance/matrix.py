@@ -31,6 +31,8 @@ from repro.experiments.vantage import VantagePoint, vantage_by_name
 from repro.experiments.websites import Website, outside_china_catalog
 from repro.gfw.models import MODEL_VARIANTS, model_variant_configs
 from repro.strategies.registry import STRATEGY_REGISTRY
+from repro.telemetry.flight import get_flight
+from repro.telemetry.trace import get_tracer
 
 __all__ = [
     "CONFORMANCE_PROFILES",
@@ -256,6 +258,12 @@ def run_cell(
     calibration = cell_calibration(cell.fault)
     salt = cell.seed_salt()
     result = CellResult(cell=cell)
+    tracer = get_tracer()
+    cell_span = tracer.begin(
+        f"cell:{cell.cell_id}", "cell",
+        strategy=cell.strategy_id, variant=cell.gfw_variant,
+        profile=cell.profile, fault=cell.fault.name,
+    )
     window = batch_window()
     if window > 1 and repeats > 1:
         tasks = [
@@ -296,6 +304,24 @@ def run_cell(
             result.failure1 += 1
         else:
             result.failure2 += 1
+    tracer.end(cell_span, verdict=result.verdict)
+    if result.verdict == "broken":
+        # The strategy itself killed the connection: flight-record the
+        # cell so the silence is attributable without a re-run.
+        flight = get_flight()
+        if flight.enabled:
+            from repro.telemetry.events import get_bus
+
+            flight.record(
+                "broken",
+                context={
+                    "cell": cell.cell_id,
+                    "success": result.success,
+                    "failure1": result.failure1,
+                    "failure2": result.failure2,
+                },
+                events=get_bus().events(),
+            )
     return result
 
 
@@ -323,16 +349,21 @@ def run_matrix(
     if cells is None:
         cells = default_cells()
     tasks = [(cell, repeats, seed) for cell in cells]
-    if shards is not None and shards > 1:
-        results = run_sharded(
-            _cell_worker,
-            tasks,
-            shards=shards,
-            workers=workers,
-            trials_per_task=repeats,
-        )
-    else:
-        results = map_trials(
-            _cell_worker, tasks, workers=workers, trials_per_task=repeats
-        )
+    # The sweep span stays open through the merge so worker-drained cell
+    # spans attach under it.
+    with get_tracer().span(
+        "conformance.matrix", "sweep", cells=len(tasks), repeats=repeats
+    ):
+        if shards is not None and shards > 1:
+            results = run_sharded(
+                _cell_worker,
+                tasks,
+                shards=shards,
+                workers=workers,
+                trials_per_task=repeats,
+            )
+        else:
+            results = map_trials(
+                _cell_worker, tasks, workers=workers, trials_per_task=repeats
+            )
     return {result.cell.cell_id: result for result in results}

@@ -39,6 +39,7 @@ GFW under load — and is labelled as such in DESIGN.md.
 
 from __future__ import annotations
 
+import math
 import random
 import zlib
 from bisect import bisect_right
@@ -65,8 +66,11 @@ from repro.gfw.models import model_variant_configs
 from repro.netsim.batch import BatchSim
 from repro.netstack.packet import recycle_packets
 from repro.strategies.registry import TABLE1_ROWS
-from repro.telemetry.events import get_bus
+from repro.telemetry.events import enable_bus, get_bus
+from repro.telemetry.export import histogram_quantile
+from repro.telemetry.flight import get_flight, packet_summary, tcb_summary
 from repro.telemetry.metrics import get_registry
+from repro.telemetry.trace import get_tracer, make_span
 
 __all__ = [
     "FleetSpec",
@@ -102,6 +106,40 @@ _FLEET_BLACKLIST_FP = _REGISTRY.counter("fleet.blacklist_false_positives")
 #: Evictions that destroyed a flow parked in the RESYNC state (§4)
 #: before it could re-anchor.
 _FLEET_EVICT_RESYNC = _REGISTRY.counter("fleet.evictions_in_resync")
+
+#: First-byte-to-verdict sim-latency buckets (seconds of simulated
+#: time).  Deterministic — sim times are a pure function of the spec —
+#: so this histogram is always on and survives the serial-vs-sharded
+#: telemetry parity pins.
+_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+)
+_FLEET_LATENCY = _REGISTRY.histogram(
+    "fleet.flow_sim_latency", buckets=_LATENCY_BUCKETS
+)
+
+
+def _new_latency_hist() -> Dict[str, object]:
+    """An empty per-group latency histogram (registry snapshot shape)."""
+    return {
+        "buckets": list(_LATENCY_BUCKETS),
+        "counts": [0] * (len(_LATENCY_BUCKETS) + 1),
+        "sum": 0.0,
+        "count": 0,
+    }
+
+
+def _observe_latency(hist: Dict[str, object], value: float) -> None:
+    """Mirror ``Histogram.observe`` onto a plain-dict histogram."""
+    counts = hist["counts"]
+    for i, bound in enumerate(hist["buckets"]):
+        if value <= bound:
+            counts[i] += 1
+            break
+    else:
+        counts[-1] += 1
+    hist["sum"] += value
+    hist["count"] += 1
 
 _OUTCOME_COUNTERS = {
     Outcome.SUCCESS: _FLEET_SUCCESS,
@@ -272,6 +310,9 @@ class SharedGFWState:
         self.blocked_ips: List[set] = []
         #: Flow ids whose TCB was evicted while still mid-stream.
         self.evicted_active_flows: Set[int] = set()
+        #: namespace -> the namespaced flow-table key that was evicted
+        #: (flight-recorder context: *which* TCB the LRU dropped).
+        self.evicted_keys: Dict[int, object] = {}
         self.evictions_in_resync = 0
         self._bus = get_bus()
         for config in configs:
@@ -296,10 +337,12 @@ class SharedGFWState:
             _FLEET_EVICT_RESYNC.inc()
         if not flow.fin_seen and namespace is not None:
             self.evicted_active_flows.add(namespace)
+            self.evicted_keys[namespace] = key
         self._bus.publish(
             "fleet",
             "flow_evicted",
             flow=namespace,
+            key=repr(key),
             state=flow.state.value,
             after_fin=flow.fin_seen,
             in_resync=in_resync,
@@ -343,6 +386,9 @@ class _FleetFlowContext:
     scenario: Scenario
     intang: Optional[INTANG]
     exchange: object
+    #: Sim-time marks: ``start`` (connection established) and
+    #: ``verdict`` (first response parse or close, whichever first).
+    timing: Dict[str, float] = field(default_factory=dict)
 
 
 def _fleet_flow_setup(
@@ -379,13 +425,32 @@ def _fleet_flow_setup(
             intang.hop_estimator.measure(flow.website.ip)
     scenario.apply_route_drift()
     client = HTTPClient(scenario.client_tcp)
-    _conn, exchange = client.get(
+    timing: Dict[str, float] = {}
+    clock = scenario.clock
+    conn, exchange = client.get(
         flow.website.ip,
         host=flow.website.name,
         path=SENSITIVE_PATH if flow.sensitive else BENIGN_PATH,
+        on_done=lambda _exchange: timing.setdefault("verdict", clock.now),
     )
+    # Wrap the client's own callbacks to timestamp the flow's sim-time
+    # life: established -> start, first parse or close -> verdict.
+    prior_established = conn.on_established
+    prior_close = conn.on_close
+
+    def _mark_established(c):
+        timing.setdefault("start", clock.now)
+        prior_established(c)
+
+    def _mark_close(c, reason):
+        timing.setdefault("verdict", clock.now)
+        prior_close(c, reason)
+
+    conn.on_established = _mark_established
+    conn.on_close = _mark_close
     return _FleetFlowContext(
-        flow=flow, scenario=scenario, intang=intang, exchange=exchange
+        flow=flow, scenario=scenario, intang=intang, exchange=exchange,
+        timing=timing,
     )
 
 
@@ -407,6 +472,59 @@ class FleetGroupResult:
     flows_evicted_after_fin: int = 0
     blacklistings: int = 0
     peak_flows_tracked: int = 0
+    #: First-byte-to-verdict sim-latency histogram (snapshot shape).
+    flow_sim_latency: Dict[str, object] = field(
+        default_factory=_new_latency_hist
+    )
+
+
+def _dump_flow_anomaly(
+    anomaly: str,
+    ctx: "_FleetFlowContext",
+    shared: SharedGFWState,
+    extra_context: Dict[str, object],
+) -> None:
+    """Flight-record one anomalous flow: ring of its events + snapshots.
+
+    Must run *before* the scenario's sniffed packets are recycled —
+    the dump summarizes them.
+    """
+    flight = get_flight()
+    if not flight.enabled:
+        return
+    flow = ctx.flow
+    scenario = ctx.scenario
+    ring = [
+        e
+        for e in get_bus().events()
+        if e.fields.get("flow") == flow.index
+        or e.fields.get("namespace") == flow.index
+    ]
+    tcbs = {}
+    for position, table in enumerate(shared.flow_tables):
+        for key, entry in table.items():
+            if isinstance(key, tuple) and key and key[0] == flow.index:
+                tcbs[f"device{position}:{key!r}"] = tcb_summary(entry)
+    evicted_key = shared.evicted_keys.get(flow.index)
+    flight.record(
+        anomaly,
+        time=scenario.clock.now,
+        context={
+            "flow": flow.index,
+            "label": flow.label,
+            "site": flow.website.name,
+            "vantage": flow.vantage.name,
+            "evicted_key": repr(evicted_key) if evicted_key else None,
+            **extra_context,
+        },
+        events=ring,
+        snapshots={
+            "tcbs": tcbs,
+            "gfw_packets_at_client": [
+                packet_summary(p) for p in scenario.gfw_packets_at_client
+            ],
+        },
+    )
 
 
 def _finalize_flow(
@@ -425,6 +543,35 @@ def _finalize_flow(
     ] += 1
     _FLEET_FLOWS.inc()
     _OUTCOME_COUNTERS[outcome].inc()
+    # First byte to verdict, in simulated seconds.  A flow that never
+    # established starts at 0; one that never resolved is charged the
+    # full horizon (the honest p99 for a stalled flow).
+    started = ctx.timing.get("start", 0.0)
+    verdict_time = ctx.timing.get("verdict", scenario.clock.now)
+    # Quantized to a dyadic grid (multiples of 2^-20 s, ~1 µs): every
+    # observation and every partial sum is then exactly representable,
+    # so the histogram's float ``sum`` is identical under any
+    # serial/sharded grouping (the telemetry-parity pins).
+    latency = round(max(0.0, verdict_time - started) * 1048576.0) / 1048576.0
+    _FLEET_LATENCY.observe(latency)
+    _observe_latency(result.flow_sim_latency, latency)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.add(
+            make_span(
+                f"flow{flow.index}",
+                "flow",
+                sim_start=started,
+                sim_end=verdict_time,
+                attrs={
+                    "flow": flow.index,
+                    "label": flow.label,
+                    "site": flow.website.name,
+                    "outcome": outcome.value,
+                    "sim_latency": latency,
+                },
+            )
+        )
     bus = get_bus()
     if (
         flow.sensitive
@@ -443,6 +590,10 @@ def _finalize_flow(
             site=flow.website.name,
             strategy=flow.label,
         )
+        _dump_flow_anomaly(
+            "eviction_false_negative", ctx, shared,
+            {"outcome": outcome.value, "strategy": flow.label},
+        )
     if not flow.sensitive and resets > 0:
         result.blacklist_false_positives += 1
         _FLEET_BLACKLIST_FP.inc()
@@ -453,6 +604,10 @@ def _finalize_flow(
             flow=flow.index,
             site=flow.website.name,
             resets=resets,
+        )
+        _dump_flow_anomaly(
+            "blacklist_false_positive", ctx, shared,
+            {"outcome": outcome.value, "resets": resets},
         )
     # The record is final; harvest the sniffer's forged packets into
     # the packet free lists and hand the scenario back to the pool.
@@ -472,11 +627,22 @@ def run_fleet_group(
     Pure function of ``(spec, group)``: this is the unit
     :func:`run_fleet` shards across processes.
     """
+    if get_flight().enabled:
+        # The ring must be filling on the serial-inline path too, where
+        # no pool-worker payload flipped the bus on.
+        enable_bus(True)
+    tracer = get_tracer()
     shared = SharedGFWState(spec, group)
     indices = list(spec.group_indices(group))
     result = FleetGroupResult(group=group, flows=len(indices), flow_events=0)
-    for start in range(0, len(indices), spec.window):
+    group_span = tracer.begin(
+        f"fleet.group{group}", "sweep", group=group, flows=len(indices)
+    )
+    for wave_number, start in enumerate(range(0, len(indices), spec.window)):
         wave = indices[start : start + spec.window]
+        wave_span = tracer.begin(
+            f"wave{wave_number}", "wave", wave=wave_number, flows=len(wave)
+        )
         batch = BatchSim(shared=True)
         contexts: List[_FleetFlowContext] = []
         try:
@@ -494,6 +660,16 @@ def run_fleet_group(
         for ctx in contexts:
             _finalize_flow(ctx, shared, result)
         shared.end_wave()
+        if wave_span is not None:
+            # The wave ends when its slowest flow does (sim time).
+            tracer.end(
+                wave_span,
+                sim_end=max(
+                    (s["sim_end"] for s in wave_span["children"]),
+                    default=0.0,
+                ),
+            )
+    tracer.end(group_span)
     result.evictions_in_resync = shared.evictions_in_resync
     result.flows_created = sum(t.flows_created for t in shared.flow_tables)
     result.flows_evicted = sum(t.flows_evicted for t in shared.flow_tables)
@@ -533,17 +709,31 @@ class FleetResult:
     flows_evicted_after_fin: int
     blacklistings: int
     peak_flows_tracked: int
+    flow_sim_latency: Dict[str, object] = field(
+        default_factory=_new_latency_hist
+    )
 
     @classmethod
     def merge(
         cls, spec: FleetSpec, groups: Sequence[FleetGroupResult]
     ) -> "FleetResult":
         outcomes: Dict[str, List[int]] = {}
+        latency = _new_latency_hist()
         for group in groups:
             for label, counts in group.outcomes.items():
                 bucket = outcomes.setdefault(label, [0, 0, 0])
                 for i in range(3):
                     bucket[i] += counts[i]
+            other = group.flow_sim_latency
+            latency["counts"] = [
+                a + b for a, b in zip(latency["counts"], other["counts"])
+            ]
+            latency["count"] += other["count"]
+        # fsum, not +=: exact summation makes the merged float identical
+        # under any group permutation (the order-independence pin).
+        latency["sum"] = math.fsum(
+            g.flow_sim_latency["sum"] for g in groups
+        )
         return cls(
             spec=spec,
             flows=sum(g.flows for g in groups),
@@ -564,6 +754,7 @@ class FleetResult:
             ),
             blacklistings=sum(g.blacklistings for g in groups),
             peak_flows_tracked=max(g.peak_flows_tracked for g in groups),
+            flow_sim_latency=latency,
         )
 
     def success_rate(self, label: str) -> Optional[float]:
@@ -610,6 +801,18 @@ class FleetResult:
             "flows_evicted_after_fin": self.flows_evicted_after_fin,
             "blacklistings": self.blacklistings,
             "peak_flows_tracked": self.peak_flows_tracked,
+            "flow_sim_latency": {
+                "count": self.flow_sim_latency["count"],
+                "mean": (
+                    self.flow_sim_latency["sum"]
+                    / self.flow_sim_latency["count"]
+                    if self.flow_sim_latency["count"]
+                    else 0.0
+                ),
+                "p50": histogram_quantile(self.flow_sim_latency, 0.50),
+                "p90": histogram_quantile(self.flow_sim_latency, 0.90),
+                "p99": histogram_quantile(self.flow_sim_latency, 0.99),
+            },
         }
 
 

@@ -31,7 +31,9 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.env import env_int
+from repro.telemetry.flight import get_flight
 from repro.telemetry.metrics import get_registry
+from repro.telemetry.trace import get_tracer
 
 __all__ = [
     "configured_workers",
@@ -114,19 +116,55 @@ def reset_trial_count() -> None:
     _trials_completed = 0
 
 
-def _run_task_with_snapshot(payload: Tuple[Callable, Tuple]) -> Tuple[Any, dict]:
+def _run_task_with_snapshot(
+    payload: Tuple[Callable, Tuple, bool, bool]
+) -> Tuple[Any, dict]:
     """Worker-side wrapper: run one task, return its result plus the
     metrics-registry delta it produced.
 
     The delta (not the full snapshot) is what merges cleanly: a worker
     process is reused for many tasks, so its registry accumulates — the
     parent must see only what *this* task added or counts double.
+
+    The payload carries the parent's trace/flight switches: pool workers
+    persist across calls, so environment knobs flipped after pool start
+    (``enable_tracer`` in the CLI, ``tracing()`` in tests) would never
+    reach them otherwise.  Span trees and flight dumps ride back inside
+    the delta dict — :meth:`MetricsRegistry.merge` ignores unknown
+    top-level keys, so the channel is free.
     """
-    func, task = payload
+    func, task, trace_on, flight_on = payload
     registry = get_registry()
+    tracer = get_tracer()
+    tracer.enabled = trace_on
+    flight = get_flight()
+    flight.enabled = flight_on
+    if flight_on:
+        from repro.telemetry.events import enable_bus
+
+        enable_bus(True)
+    # Stale trees/dumps from a task whose parent died mid-merge must not
+    # leak into this task's delta.
+    tracer.drain()
+    flight.drain()
     before = registry.snapshot()
     result = func(task)
-    return result, registry.diff(before)
+    delta = registry.diff(before)
+    if trace_on:
+        delta["spans"] = tracer.drain()
+    dumps = flight.drain()
+    if dumps:
+        delta["flight"] = dumps
+    return result, delta
+
+
+def _merge_worker_delta(registry, delta: dict) -> None:
+    """Fold one worker delta into the parent: metrics, spans, dumps."""
+    registry.merge(delta)
+    spans = delta.get("spans")
+    if spans:
+        get_tracer().merge(spans)
+    get_flight().adopt(delta.get("flight"))
 
 
 def _mirrored_trials(
@@ -183,13 +221,15 @@ def map_trials(
     if chunksize is None:
         chunksize = max(1, len(tasks) // (effective * DEFAULT_CHUNKS_PER_WORKER))
     pool = _get_pool(effective)
-    payloads = [(func, task) for task in tasks]
+    trace_on = get_tracer().enabled
+    flight_on = get_flight().enabled
+    payloads = [(func, task, trace_on, flight_on) for task in tasks]
     registry = get_registry()
     results: List[Any] = []
     for result, delta in pool.map(
         _run_task_with_snapshot, payloads, chunksize=chunksize
     ):
-        registry.merge(delta)
+        _merge_worker_delta(registry, delta)
         results.append(result)
     # Worker-process counters are invisible here; mirror their work.
     note_trials(_mirrored_trials(trials_per_task, len(tasks)))
@@ -204,7 +244,12 @@ def _shard_worker(payload: Tuple[Callable, Tuple]) -> List[Any]:
     tasks, which is the point of sharding.
     """
     func, shard = payload
-    return [func(task) for task in shard]
+    tracer = get_tracer()
+    span = tracer.begin(f"shard[{len(shard)}]", "shard", tasks=len(shard))
+    try:
+        return [func(task) for task in shard]
+    finally:
+        tracer.end(span)
 
 
 def run_sharded(
@@ -244,13 +289,18 @@ def run_sharded(
         slices.append(tuple(tasks[start : start + size]))
         start += size
     pool = _get_pool(min(requested, shards))
-    payloads = [(_shard_worker, (func, shard)) for shard in slices]
+    trace_on = get_tracer().enabled
+    flight_on = get_flight().enabled
+    payloads = [
+        (_shard_worker, (func, shard), trace_on, flight_on)
+        for shard in slices
+    ]
     registry = get_registry()
     results: List[Any] = []
     for shard_results, delta in pool.map(
         _run_task_with_snapshot, payloads, chunksize=1
     ):
-        registry.merge(delta)
+        _merge_worker_delta(registry, delta)
         results.extend(shard_results)
     note_trials(_mirrored_trials(trials_per_task, len(tasks)))
     return results

@@ -20,6 +20,7 @@ import enum
 import random
 import zlib
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.cache import KeyValueStore
@@ -45,6 +46,7 @@ from repro.netstack.packet import recycle_packets
 from repro.experiments.vantage import VantagePoint
 from repro.experiments.websites import Resolver, Website
 from repro.telemetry.metrics import get_registry
+from repro.telemetry.trace import get_tracer, make_span
 
 #: The keyword the paper probes with (§3.3).
 SENSITIVE_PATH = "/?search=ultrasurf"
@@ -197,6 +199,14 @@ _OUTCOME_COUNTERS = {
     Outcome.FAILURE2: _REGISTRY.counter("trials.failure2"),
 }
 _BYTES_INSPECTED = _REGISTRY.histogram("trial.bytes_inspected")
+#: Wall-clock trial latency.  Registered unconditionally (so serial and
+#: sharded instrument sets match) but *observed* only while tracing is
+#: on — wall times are nondeterministic and would break the
+#: serial-vs-sharded telemetry identity the parity tests pin.
+_TRIAL_WALL_SECONDS = _REGISTRY.histogram(
+    "trial.wall_seconds",
+    buckets=(0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5),
+)
 
 
 @dataclass
@@ -218,6 +228,8 @@ class _HttpTrialContext:
     intang: INTANG
     exchange: object
     drift: Optional[str]
+    seed: int = 0
+    wall_start: float = 0.0
 
 
 def _http_trial_setup(
@@ -241,6 +253,7 @@ def _http_trial_setup(
     caller hands it back via ``release_scenario``) and its clock is
     adopted into the shared heap before anything is scheduled on it.
     """
+    wall_start = perf_counter() if get_tracer().enabled else 0.0
     scenario = acquire_scenario(
         vantage=vantage, website=website, calibration=calibration,
         seed=seed, workload="http", trace=trace, gfw_variant=gfw_variant,
@@ -285,6 +298,8 @@ def _http_trial_setup(
         intang=intang,
         exchange=exchange,
         drift=drift,
+        seed=seed,
+        wall_start=wall_start,
     )
 
 
@@ -312,6 +327,35 @@ def _http_trial_finalize(ctx: _HttpTrialContext) -> TrialRecord:
     _BYTES_INSPECTED.observe(
         sum(device.bytes_inspected for device in scenario.gfw_devices)
     )
+    tracer = get_tracer()
+    if tracer.enabled:
+        # The trial span is built whole here — batched trials finish out
+        # of order, so begin/end stack discipline can't describe them.
+        wall_end = perf_counter()
+        _TRIAL_WALL_SECONDS.observe(max(0.0, wall_end - ctx.wall_start))
+        sim_end = scenario.clock.now
+        tracer.add(
+            make_span(
+                f"trial:{used}",
+                "trial",
+                sim_start=0.0,
+                sim_end=sim_end,
+                wall_start=ctx.wall_start,
+                wall_end=wall_end,
+                attrs={
+                    "strategy": used,
+                    "vantage": ctx.vantage.name,
+                    "target": ctx.website.name,
+                    "keyword": ctx.keyword,
+                    "outcome": outcome.value,
+                    "seed": ctx.seed,
+                },
+                children=[
+                    make_span("setup", "phase", sim_start=0.0, sim_end=0.0),
+                    make_span("run", "phase", sim_start=0.0, sim_end=sim_end),
+                ],
+            )
+        )
     return record
 
 
@@ -364,33 +408,45 @@ def _run_http_batch_records(
     again walks task order.  Byte-identical to running the tasks one at a
     time — pinned by the batch-parity tier-1 tests.
     """
-    batch = BatchSim()
-    contexts: List[_HttpTrialContext] = []
+    tracer = get_tracer()
+    batch_span = tracer.begin(
+        f"http-batch[{len(tasks)}]", "batch", window=len(tasks)
+    )
     try:
-        for task in tasks:
-            vantage, website, strategy_id, calibration, seed, keyword = task
-            contexts.append(
-                _http_trial_setup(
-                    vantage, website, strategy_id, calibration, seed, keyword,
-                    gfw_variant=gfw_variant, batch=batch,
+        batch = BatchSim()
+        contexts: List[_HttpTrialContext] = []
+        try:
+            for task in tasks:
+                vantage, website, strategy_id, calibration, seed, keyword = task
+                contexts.append(
+                    _http_trial_setup(
+                        vantage, website, strategy_id, calibration, seed,
+                        keyword, gfw_variant=gfw_variant, batch=batch,
+                    )
                 )
+            batch.run(
+                [ctx.scenario.calibration.trial_duration for ctx in contexts]
             )
-        batch.run([ctx.scenario.calibration.trial_duration for ctx in contexts])
+        finally:
+            batch.release()
+        records = []
+        for ctx in contexts:
+            records.append(_http_trial_finalize(ctx))
+            scenario = ctx.scenario
+            # The record is final and the scenario goes straight back to
+            # the pool, so the sniffer's forged-reset packets are dead —
+            # harvest them into the packet free lists (unless a trace
+            # retains them).
+            trace = scenario.trace
+            if scenario.gfw_packets_at_client and (
+                trace is None or not trace.enabled
+            ):
+                recycle_packets(scenario.gfw_packets_at_client)
+                scenario.gfw_packets_at_client.clear()
+            release_scenario(scenario)
+        return records
     finally:
-        batch.release()
-    records = []
-    for ctx in contexts:
-        records.append(_http_trial_finalize(ctx))
-        scenario = ctx.scenario
-        # The record is final and the scenario goes straight back to the
-        # pool, so the sniffer's forged-reset packets are dead — harvest
-        # them into the packet free lists (unless a trace retains them).
-        trace = scenario.trace
-        if scenario.gfw_packets_at_client and (trace is None or not trace.enabled):
-            recycle_packets(scenario.gfw_packets_at_client)
-            scenario.gfw_packets_at_client.clear()
-        release_scenario(scenario)
-    return records
+        tracer.end(batch_span)
 
 
 def run_http_trial(
@@ -617,7 +673,11 @@ def run_strategy_cell(
     tasks = _cell_tasks(
         strategy_id, vantages, websites, calibration, repeats, seed, keyword
     )
-    outcomes = run_http_outcomes(tasks, workers=workers, shards=shards)
+    with get_tracer().span(
+        f"cell:{strategy_id}", "sweep",
+        strategy=strategy_id, trials=len(tasks), keyword=keyword,
+    ):
+        outcomes = run_http_outcomes(tasks, workers=workers, shards=shards)
     return RateTriple.from_outcomes(outcomes)
 
 

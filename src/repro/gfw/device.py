@@ -76,6 +76,12 @@ _METRIC_TCB_CREATED = _REGISTRY.counter("gfw.tcb_created")
 _METRIC_TEARDOWN = _REGISTRY.counter("gfw.tcb_teardown")
 _METRIC_RESYNC_ENTERED = _REGISTRY.counter("gfw.resync_entered")
 _METRIC_RESYNC_EXITED = _REGISTRY.counter("gfw.resync_exited")
+#: TCB-creation-to-DPI-match sim-latency (seconds).  Sim times are
+#: deterministic, so this histogram survives the parity pins.
+_METRIC_DPI_MATCH_LATENCY = _REGISTRY.histogram(
+    "dpi.match_latency",
+    buckets=(0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0),
+)
 
 
 class GFWDevice(Tap):
@@ -192,7 +198,7 @@ class GFWDevice(Tap):
         self._metric_resync_entered.inc()
         self._bus.publish(
             "gfw", "resync_enter", time=self.clock.now,
-            device=self.name, cause=cause,
+            device=self.name, namespace=self.flow_namespace, cause=cause,
         )
 
     def _exit_resync(self, flow: GFWFlow, seq: int, via: str) -> None:
@@ -200,7 +206,8 @@ class GFWDevice(Tap):
         self._metric_resync_exited.inc()
         self._bus.publish(
             "gfw", "resync_exit", time=self.clock.now,
-            device=self.name, via=via, adopted_seq=seq & 0xFFFFFFFF,
+            device=self.name, namespace=self.flow_namespace,
+            via=via, adopted_seq=seq & 0xFFFFFFFF,
         )
 
     def _on_flow_evicted(self, key: object, flow: GFWFlow) -> None:
@@ -231,7 +238,7 @@ class GFWDevice(Tap):
         self._metric_teardown.inc()
         self._bus.publish(
             "gfw", "tcb_teardown", time=self.clock.now,
-            device=self.name, cause=cause,
+            device=self.name, namespace=self.flow_namespace, cause=cause,
         )
 
     # ------------------------------------------------------------------
@@ -316,6 +323,7 @@ class GFWDevice(Tap):
             self._metric_tcb_created.inc()
             self._bus.publish(
                 "gfw", "tcb_create", time=now, device=self.name, on="syn",
+                namespace=self.flow_namespace,
                 believed_client=f"{src[0]}:{src[1]}",
                 believed_server=f"{dst[0]}:{dst[1]}",
             )
@@ -339,6 +347,7 @@ class GFWDevice(Tap):
             self._metric_tcb_created.inc()
             self._bus.publish(
                 "gfw", "tcb_create", time=now, device=self.name, on="synack",
+                namespace=self.flow_namespace,
                 believed_client=f"{dst[0]}:{dst[1]}",
                 believed_server=f"{src[0]}:{src[1]}",
                 note="NB1: SYN/ACK source assumed to be the server",
@@ -476,14 +485,22 @@ class GFWDevice(Tap):
             self._metric_dpi_miss.inc()
             self._bus.publish(
                 "gfw", "dpi_miss", time=now, device=self.name,
+                namespace=self.flow_namespace,
                 rule=detection.kind, detail=detection.detail,
                 note="cluster overload draw: flow escapes tracking",
             )
             return
         self.detections.append((now, detection))
         self._metric_dpi_match.inc()
+        # Dyadic quantization (multiples of 2^-20 s): keeps the
+        # histogram's float sum bit-identical under any serial/sharded
+        # worker grouping (see the fleet latency observation).
+        _METRIC_DPI_MATCH_LATENCY.observe(
+            round(max(0.0, now - flow.created_at) * 1048576.0) / 1048576.0
+        )
         self._bus.publish(
             "gfw", "dpi_match", time=now, device=self.name,
+            namespace=self.flow_namespace,
             rule=detection.kind, detail=detection.detail,
         )
         if detection.kind == "tor" and self.active_prober is not None:
@@ -498,6 +515,7 @@ class GFWDevice(Tap):
             )
             self._bus.publish(
                 "gfw", "blacklist_add", time=now, device=self.name,
+                namespace=self.flow_namespace,
                 client=flow.believed_client[0], server=flow.believed_server[0],
             )
 
@@ -521,6 +539,7 @@ class GFWDevice(Tap):
             self._metric_rst_sent.inc()
         self._bus.publish(
             "gfw", "rst_sent", time=now, device=self.name,
+            namespace=self.flow_namespace,
             count=len(toward_client) + len(toward_server),
             reset_type=self.config.reset_type,
         )
@@ -541,6 +560,7 @@ class GFWDevice(Tap):
             self._metric_synack_forged.inc()
             self._bus.publish(
                 "gfw", "synack_forged", time=now, device=self.name,
+                namespace=self.flow_namespace,
                 toward=f"{src[0]}:{src[1]}",
             )
             return
@@ -564,6 +584,7 @@ class GFWDevice(Tap):
             injected += 1
         self._bus.publish(
             "gfw", "rst_sent", time=now, device=self.name,
+            namespace=self.flow_namespace,
             count=injected, note="blacklist enforcement",
         )
 
@@ -587,6 +608,7 @@ class GFWDevice(Tap):
             injected += 1
         self._bus.publish(
             "gfw", "rst_sent", time=now, device=self.name,
+            namespace=self.flow_namespace,
             count=injected, note="ip block",
         )
 

@@ -56,6 +56,7 @@ import heapq
 from typing import List, Optional, Sequence, Union
 
 from repro.netsim.simclock import SimClock, _INF
+from repro.telemetry.trace import get_tracer
 
 #: Bits reserved for the per-trial sequence counter.  2**32 scheduling
 #: operations per trial is ~three orders of magnitude above the run
@@ -153,6 +154,11 @@ class BatchSim:
         pop = heapq.heappop
         executed = 0
         budget = max_events_per_trial * max(1, len(clocks))
+        tracer = get_tracer()
+        span = tracer.begin(
+            f"batch.run[{len(clocks)}]", "batch-run",
+            trials=len(clocks), shared=self.shared,
+        )
         try:
             while queue and executed < budget:
                 time, seq, event = pop(queue)
@@ -172,6 +178,7 @@ class BatchSim:
                 if clock._now < bound:
                     clock._now = bound
                 clock._run_until = _INF
+            tracer.end(span, executed=executed)
         return executed
 
     def release(self) -> None:

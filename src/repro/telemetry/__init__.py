@@ -1,6 +1,6 @@
-"""Unified telemetry: metrics registry, event bus, per-trial diagnosis.
+"""Unified telemetry: metrics, events, spans, flight dumps, exporters.
 
-Three layers, one import surface:
+Six layers, one import surface:
 
 - :mod:`repro.telemetry.metrics` — the process-local
   :class:`~repro.telemetry.metrics.MetricsRegistry` of counters, gauges,
@@ -11,14 +11,24 @@ Three layers, one import surface:
   GFW device, strategies, and INTANG publish structured
   :class:`~repro.telemetry.events.TelemetryEvent` records into
   (``REPRO_TELEMETRY`` knob);
-- :mod:`repro.telemetry.diagnose` — ``diagnose_trial()``, which re-runs
-  one experiment cell with full telemetry and renders a merged
-  packet-ladder + GFW-state timeline explaining the Outcome
-  (``repro telemetry diagnose`` on the command line).
+- :mod:`repro.telemetry.trace` — the hierarchical
+  :class:`~repro.telemetry.trace.SpanTracer` (sweep → shard → batch/wave
+  → trial/flow → phase spans, wall + sim time, ``REPRO_TRACE`` knob)
+  whose drained trees merge across shards like registry deltas;
+- :mod:`repro.telemetry.flight` — the anomaly
+  :class:`~repro.telemetry.flight.FlightRecorder` (``REPRO_FLIGHT``
+  knob): bounded event-ring + packet/TCB snapshot dumps emitted only
+  when an eviction false negative, blacklist false positive, oracle
+  drift, or broken verdict fires;
+- :mod:`repro.telemetry.export` — Chrome/Perfetto trace-event JSON,
+  OpenMetrics text exposition, and p50/p90/p99 summaries;
+- :mod:`repro.telemetry.diagnose` — ``diagnose_trial()`` /
+  ``diagnose_fleet_flow()``, which re-run one cell or fleet flow with
+  full telemetry and render the merged packet+state timeline.
 
-The diagnosis layer pulls in the experiment harness, so it is exposed
-lazily — ``from repro.telemetry import diagnose_trial`` works without
-making ``import repro.telemetry`` heavy.
+The diagnosis/trace/flight/export layers pull in heavier dependencies,
+so they are exposed lazily — ``from repro.telemetry import
+diagnose_trial`` works without making ``import repro.telemetry`` heavy.
 """
 
 from repro.telemetry.metrics import (
@@ -26,6 +36,7 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    filter_snapshot,
     get_registry,
     reset_registry,
 )
@@ -38,11 +49,37 @@ from repro.telemetry.events import (
     reset_bus,
 )
 
+#: Lazily exposed name -> providing submodule.
+_LAZY = {
+    "TrialDiagnosis": "diagnose",
+    "diagnose_trial": "diagnose",
+    "FleetFlowDiagnosis": "diagnose",
+    "diagnose_fleet_flow": "diagnose",
+    "SEMANTIC_KINDS": "trace",
+    "SpanTracer": "trace",
+    "enable_tracer": "trace",
+    "get_tracer": "trace",
+    "make_span": "trace",
+    "reset_tracer": "trace",
+    "tracing": "trace",
+    "trial_semantic": "trace",
+    "FlightRecorder": "flight",
+    "enable_flight": "flight",
+    "get_flight": "flight",
+    "reset_flight": "flight",
+    "chrome_trace": "export",
+    "histogram_quantile": "export",
+    "latency_summary": "export",
+    "openmetrics": "export",
+    "write_chrome_trace": "export",
+}
+
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "filter_snapshot",
     "get_registry",
     "reset_registry",
     "EventBus",
@@ -51,14 +88,14 @@ __all__ = [
     "enable_bus",
     "get_bus",
     "reset_bus",
-    "TrialDiagnosis",
-    "diagnose_trial",
-]
+] + sorted(_LAZY)
 
 
 def __getattr__(name):
-    if name in ("diagnose_trial", "TrialDiagnosis"):
-        from repro.telemetry import diagnose
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(diagnose, name)
+        module = importlib.import_module(f"repro.telemetry.{module_name}")
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

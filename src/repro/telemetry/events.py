@@ -30,6 +30,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterator, List, Optional
 
+from repro.telemetry.metrics import get_registry
+
 __all__ = [
     "TelemetryEvent",
     "EventBus",
@@ -87,8 +89,13 @@ class EventBus:
         self.enabled = enabled
         self._ring: Deque[TelemetryEvent] = deque(maxlen=capacity)
         self._next_seq = 0
-        #: Events pushed out of the ring by newer ones.
+        #: Events pushed out of the ring by newer ones.  Mirrored into
+        #: the registry (``telemetry.events_dropped``), so snapshots and
+        #: worker-merged deltas expose the silent loss.
         self.dropped = 0
+        self._metric_dropped = get_registry().counter(
+            "telemetry.events_dropped"
+        )
 
     def publish(
         self, component: str, kind: str, time: float = 0.0, **fields: Any
@@ -98,6 +105,7 @@ class EventBus:
             return None
         if len(self._ring) == self.capacity:
             self.dropped += 1
+            self._metric_dropped.inc()
         event = TelemetryEvent(
             seq=self._next_seq, time=time, component=component, kind=kind,
             fields=fields,

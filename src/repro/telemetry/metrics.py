@@ -31,6 +31,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "filter_snapshot",
     "get_registry",
     "reset_registry",
 ]
@@ -274,6 +275,27 @@ class MetricsRegistry:
             for name, kind, value in rows
         ]
         return "\n".join(lines)
+
+
+def filter_snapshot(snapshot: Dict, prefix: Optional[str]) -> Dict:
+    """A snapshot restricted to instrument names starting with ``prefix``.
+
+    The JSON twin of :meth:`MetricsRegistry.format_table`'s prefix
+    filter — fleet runs dump thousands of counters, and the consumers
+    (``repro telemetry metrics --prefix``, the OpenMetrics exporter)
+    usually want one dotted family.  A falsy prefix returns the
+    snapshot unchanged.
+    """
+    if not prefix:
+        return snapshot
+    return {
+        family: {
+            name: value
+            for name, value in snapshot.get(family, {}).items()
+            if name.startswith(prefix)
+        }
+        for family in ("counters", "gauges", "histograms")
+    }
 
 
 # ---------------------------------------------------------------------------
