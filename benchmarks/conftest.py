@@ -91,19 +91,31 @@ def record_rate(value, unit):
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
-    from repro.experiments.parallel import trials_completed
+    from repro.experiments.parallel import (
+        execution_stats,
+        reset_execution_stats,
+        trials_completed,
+    )
 
     _CURRENT_METRICS.clear()
     _CURRENT_RATE.clear()
+    reset_execution_stats()
     trials_before = trials_completed()
     start = time.perf_counter()
     yield
     elapsed = time.perf_counter() - start
     trials = trials_completed() - trials_before
+    execution = execution_stats()
     record = {
         "bench": item.nodeid,
         "wall_seconds": round(elapsed, 4),
+        # Effective counts, not requested ones: maps clamp workers to the
+        # task count and sharded runs can collapse to the serial path, so
+        # the recorded rate is only honest next to what actually ran.
+        "workers": execution["workers"] or 1,
     }
+    if execution["shards"]:
+        record["shards"] = execution["shards"]
     if trials:
         # Benches that run no trials used to land here with ``trials: 0``
         # and a meaningless rate; the trial fields are now only recorded
@@ -186,6 +198,8 @@ def pytest_sessionfinish(session, exitstatus):
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
             "workers": workers,
+            "batch_trials": os.environ.get("REPRO_BATCH_TRIALS"),
+            "replay": os.environ.get("REPRO_REPLAY", "1") not in ("0", "false", ""),
             "repro_full": full_scale(),
             "run": run_ordinal,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),

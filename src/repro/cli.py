@@ -350,7 +350,11 @@ def _perf_profile(args: argparse.Namespace) -> int:
     """cProfile one experiment cell and print the hottest functions.
 
     The cell selectors mirror ``telemetry diagnose`` so a slow trial can
-    be profiled with the same flags that diagnosed it.
+    be profiled with the same flags that diagnosed it.  ``--exec`` picks
+    the execution tier under the profiler: the plain per-trial simulator,
+    the batch-stepped shared-heap path (honouring ``REPRO_BATCH_TRIALS``),
+    or the replay tier against a pre-warmed cell (records outside the
+    profiler, then profiles the ledger-verification hot path).
     """
     import cProfile
     import pstats
@@ -360,17 +364,44 @@ def _perf_profile(args: argparse.Namespace) -> int:
         outside_china_catalog,
         vantage_by_name,
     )
-    from repro.experiments.runner import _simulate_http_trial
+    from repro.experiments import replay
+    from repro.experiments.runner import (
+        _run_http_batch_records,
+        _simulate_http_trial,
+        batch_window,
+    )
 
     vantage = vantage_by_name(args.vantage)
     website = outside_china_catalog()[args.site]
+    tasks = [
+        (
+            vantage, website, args.strategy, DEFAULT_CALIBRATION,
+            args.seed + repeat, not args.benign,
+        )
+        for repeat in range(args.repeats)
+    ]
+    window = batch_window() if args.exec_mode == "batch" else len(tasks)
+    if args.exec_mode == "replay":
+        if not replay.enabled():
+            print("perf profile --exec replay needs REPRO_REPLAY on",
+                  file=sys.stderr)
+            return 1
+        # Warm pass: record the cell's programs before the profiler runs,
+        # so the profile shows the replay path, not the recording cost.
+        replay.clear()
+        for begin in range(0, len(tasks), window):
+            _run_http_batch_records(tasks[begin : begin + window])
     profiler = cProfile.Profile()
     profiler.enable()
-    for repeat in range(args.repeats):
-        _simulate_http_trial(
-            vantage, website, args.strategy, DEFAULT_CALIBRATION,
-            seed=args.seed + repeat, keyword=not args.benign,
-        )
+    if args.exec_mode == "serial":
+        for _, _, _, _, seed, keyword in tasks:
+            _simulate_http_trial(
+                vantage, website, args.strategy, DEFAULT_CALIBRATION,
+                seed=seed, keyword=keyword,
+            )
+    else:
+        for begin in range(0, len(tasks), window):
+            _run_http_batch_records(tasks[begin : begin + window])
     profiler.disable()
     stats = pstats.Stats(profiler)
     if args.out:
@@ -380,8 +411,16 @@ def _perf_profile(args: argparse.Namespace) -> int:
         f"cell: vantage={vantage.name} site={website.name} "
         f"strategy={args.strategy or 'none'} "
         f"{'benign' if args.benign else 'keyword'} "
-        f"seeds={args.seed}..{args.seed + args.repeats - 1}"
+        f"seeds={args.seed}..{args.seed + args.repeats - 1} "
+        f"exec={args.exec_mode}"
+        + (f" window={window}" if args.exec_mode == "batch" else "")
     )
+    if args.exec_mode == "replay":
+        snapshot = replay.stats()
+        print(
+            f"replay: hits={snapshot['hits']} misses={snapshot['misses']} "
+            f"forks={snapshot['forks']} programs={snapshot['programs']}"
+        )
     stats.sort_stats("cumulative").print_stats(args.top)
     return 0
 
@@ -471,15 +510,18 @@ def _conformance_report(results, args: argparse.Namespace) -> int:
     from repro.conformance import check_verdicts, compare_golden
     from repro.conformance.oracles import KNOWN_DIVERGENCE
 
+    from repro.experiments import replay
+
     drifts, uncovered = check_verdicts(results)
     diff = compare_golden(results, _conformance_golden_dir(args),
                           seed=args.seed)
 
     if args.json:
-        print(json_module.dumps(
-            {cid: r.as_payload() for cid, r in sorted(results.items())},
-            indent=2,
-        ))
+        document = {cid: r.as_payload() for cid, r in sorted(results.items())}
+        # Cell ids always carry "|" separators, so a bare key cannot
+        # collide with one.
+        document["replay"] = replay.stats()
+        print(json_module.dumps(document, indent=2))
     else:
         counts: dict = {}
         for result in results.values():
@@ -519,6 +561,14 @@ def _conformance_report(results, args: argparse.Namespace) -> int:
               "new behaviour)", file=sys.stderr)
     if not failed:
         print("conformance: PASS (oracle + golden snapshot + ladders)")
+    if not args.json:
+        snapshot = replay.stats()
+        print(
+            f"replay tier: hits={snapshot['hits']} "
+            f"misses={snapshot['misses']} forks={snapshot['forks']} "
+            f"programs={snapshot['programs']} cells={snapshot['cells']}",
+            file=sys.stderr,
+        )
     return 1 if failed else 0
 
 
@@ -655,11 +705,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         gfw_variant=args.variant,
         max_flows=args.max_flows,
     )
+    from repro.experiments import replay
+
     start = time_module.perf_counter()
     result = run_fleet(spec, shards=args.shards, workers=args.workers)
     elapsed = time_module.perf_counter() - start
     payload = result.to_dict()
     payload["wall_seconds"] = round(elapsed, 3)
+    payload["replay"] = replay.stats()
     if elapsed > 0:
         payload["flow_events_per_second"] = round(result.flow_events / elapsed, 1)
         payload["flows_per_second"] = round(result.flows / elapsed, 1)
@@ -1023,6 +1076,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trials to profile (consecutive seeds)")
     p.add_argument("--top", type=int, default=25,
                    help="rows of the cumulative-time table to print")
+    p.add_argument("--exec", dest="exec_mode",
+                   choices=("serial", "batch", "replay"), default="serial",
+                   help="profile: execution tier to profile — per-trial "
+                        "simulator, batch-stepped shared heap "
+                        "(REPRO_BATCH_TRIALS), or replay against a "
+                        "pre-warmed cell")
     p.add_argument("--out", default=None,
                    help="also dump raw pstats here (e.g. profile.pstats)")
 

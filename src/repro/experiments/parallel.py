@@ -99,6 +99,33 @@ def _get_pool(workers: int) -> ProcessPoolExecutor:
 atexit.register(shutdown_pool)
 
 
+# -- execution-shape accounting (sampled by benchmarks/conftest.py) ---------
+_exec_stats = {"workers": 0, "shards": 0}
+
+
+def reset_execution_stats() -> None:
+    """Zero the per-window effective worker/shard high-water marks."""
+    _exec_stats["workers"] = 0
+    _exec_stats["shards"] = 0
+
+
+def execution_stats() -> dict:
+    """High-water effective worker and shard counts since the last reset.
+
+    ``configured_workers()`` reports what the environment *asked for*;
+    these are what the engine actually used — maps clamp the worker count
+    to the task count and sharded runs may collapse to the serial path,
+    so a bench's recorded throughput is only interpretable against the
+    effective values.
+    """
+    return dict(_exec_stats)
+
+
+def _note_execution(workers: int, shards: int = 0) -> None:
+    _exec_stats["workers"] = max(_exec_stats["workers"], workers)
+    _exec_stats["shards"] = max(_exec_stats["shards"], shards)
+
+
 # -- trial accounting (sampled by benchmarks/conftest.py) -------------------
 def note_trials(count: int = 1) -> None:
     """Record ``count`` completed trials in this process."""
@@ -214,6 +241,7 @@ def map_trials(
     """
     tasks = list(tasks)
     effective = min(configured_workers(workers), len(tasks))
+    _note_execution(max(1, effective))
     if effective <= 1 or len(tasks) <= 1:
         # Inline path: the trial functions themselves count trials and
         # write the parent registry directly.
@@ -280,7 +308,9 @@ def run_sharded(
         shards = requested
     shards = max(1, min(shards, len(tasks)))
     if requested <= 1 or shards <= 1 or len(tasks) <= 1:
+        _note_execution(1, shards=1)
         return [func(task) for task in tasks]
+    _note_execution(min(requested, shards), shards=shards)
     base, extra = divmod(len(tasks), shards)
     slices: List[tuple] = []
     start = 0

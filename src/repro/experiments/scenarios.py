@@ -46,6 +46,7 @@ from repro.apps.tor import TorBridge
 from repro.apps.udp import UDPHost
 from repro.apps.vpn import OpenVPNServer
 from repro.core.env import env_flag, env_int
+from repro.rngledger import TrialRandom, ledger_root
 from repro.experiments.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.experiments.vantage import VantagePoint
 from repro.experiments.websites import Resolver, Website
@@ -106,19 +107,16 @@ class Scenario:
             if self.vantage.inside_china
             else self.calibration.route_drift_probability_outside
         )
-        if self.rng.random() >= probability:
+        if not self.rng.coin(probability):
             return None
         choices = (
             self.calibration.drift_choices
             if self.vantage.inside_china
             else self.calibration.outside_drift_choices
         )
-        total = sum(weight for _, _, weight in choices)
-        roll = self.rng.random() * total
-        for side, delta, weight in choices:
-            roll -= weight
-            if roll <= 0:
-                break
+        side, delta, _weight = choices[
+            self.rng.branch(tuple(weight for _, _, weight in choices))
+        ]
         try:
             if side == "server":
                 self.path.drift_server_side(delta)
@@ -150,32 +148,40 @@ class Scenario:
         return len(self.gfw_packets_at_client)
 
 
-def _draw_loss_rate(rng: random.Random, calibration: Calibration) -> float:
-    if rng.random() < calibration.burst_loss_probability:
+def _draw_loss_rate(rng: TrialRandom, calibration: Calibration) -> float:
+    if rng.coin(calibration.burst_loss_probability):
         return calibration.burst_loss_rate
     return calibration.base_loss_rate
 
 
+#: The three installation compositions, indexed by the population pick.
+_GFW_GENERATIONS = (["old", "old2"], ["evolved", "old"], ["evolved", "evolved2"])
+
+
 def _gfw_configs(
-    rng: random.Random, calibration: Calibration, vantage: VantagePoint
+    rng: TrialRandom, calibration: Calibration, vantage: VantagePoint
 ) -> List[GFWConfig]:
     """Draw the installation composition and shared behaviour quirks."""
-    roll = rng.random()
-    if roll < calibration.old_model_only_fraction:
-        generations = ["old", "old2"]
-    elif roll < calibration.old_model_only_fraction + calibration.both_models_fraction:
-        generations = ["evolved", "old"]
-    else:
-        generations = ["evolved", "evolved2"]
+    generations = list(
+        _GFW_GENERATIONS[
+            rng.pick(
+                (
+                    calibration.old_model_only_fraction,
+                    calibration.old_model_only_fraction
+                    + calibration.both_models_fraction,
+                )
+            )
+        ]
+    )
     # Installation-wide quirk draws (devices at one tap share a version).
     tcp_ooo = (
         OverlapPolicy.LAST_WINS
-        if rng.random() < calibration.evolved_tcp_ooo_lastwins_fraction
+        if rng.coin(calibration.evolved_tcp_ooo_lastwins_fraction)
         else OverlapPolicy.FIRST_WINS
     )
-    ignores_noflag = rng.random() < calibration.evolved_ignores_noflag_fraction
-    validates_ack = rng.random() < calibration.evolved_validates_ack_fraction
-    fin_teardown = rng.random() < calibration.evolved_fin_teardown_fraction
+    ignores_noflag = rng.coin(calibration.evolved_ignores_noflag_fraction)
+    validates_ack = rng.coin(calibration.evolved_validates_ack_fraction)
+    fin_teardown = rng.coin(calibration.evolved_fin_teardown_fraction)
     configs: List[GFWConfig] = []
     for generation in generations:
         if generation.startswith("old"):
@@ -234,14 +240,7 @@ def _path_geometry(
         return hop_count, gfw_hop
     hop_count = hop_count + 6  # transcontinental transit
     gaps = calibration.outside_gfw_server_gap
-    total = sum(weight for _, weight in gaps)
-    roll = rng.random() * total
-    gap = gaps[-1][0]
-    for candidate_gap, weight in gaps:
-        roll -= weight
-        if roll <= 0:
-            gap = candidate_gap
-            break
+    gap = gaps[rng.branch(tuple(weight for _, weight in gaps))][0]
     return hop_count, max(2, hop_count - gap)
 
 
@@ -278,20 +277,18 @@ def build_scenario(
     (middleboxes, firewall, GFW devices, workload apps) is still rebuilt
     per trial, preserving the trial-isolation contract above.
     """
-    rng = random.Random(seed)
+    rng = ledger_root(seed)
     if reuse is None:
         clock = SimClock()
         recorder = TraceRecorder(enabled=trace)
-        network = Network(
-            clock=clock, rng=random.Random(rng.randrange(2**31)), trace=recorder
-        )
+        network = Network(clock=clock, rng=rng.spawn(), trace=recorder)
     else:
         clock = reuse.clock
         clock.reset()
         recorder = reuse.trace
         recorder.reset(enabled=trace)
         network = reuse.network
-        network.rng = random.Random(rng.randrange(2**31))
+        network.rng = rng.spawn()
         network.undeliverable = 0
 
     if workload == "dns":
@@ -340,13 +337,13 @@ def build_scenario(
 
     # -- client-side middleboxes (Table 2) --------------------------------
     for box in vantage.middleboxes.build_boxes(
-        hop=CLIENT_MIDDLEBOX_HOP, rng=random.Random(rng.randrange(2**31))
+        hop=CLIENT_MIDDLEBOX_HOP, rng=rng.spawn()
     ):
         path.add_element(box)
     firewall_present = (
         force_firewall
         if force_firewall is not None
-        else rng.random() < calibration.stateful_firewall_fraction
+        else rng.coin(calibration.stateful_firewall_fraction)
     )
     if firewall_present:
         path.add_element(
@@ -355,15 +352,15 @@ def build_scenario(
                 hop=FIREWALL_HOP,
                 teardown_probability=firewall_teardown_probability,
                 check_sequences=(
-                    rng.random() < calibration.firewall_checks_sequences_fraction
+                    rng.coin(calibration.firewall_checks_sequences_fraction)
                 ),
-                rng=random.Random(rng.randrange(2**31)),
+                rng=rng.spawn(),
             )
         )
 
     # -- the GFW installation ------------------------------------------------
     cluster = GFWCluster(
-        rng=random.Random(rng.randrange(2**31)),
+        rng=rng.spawn(),
         miss_probability=calibration.gfw_miss_probability,
     )
     censored_path = resolver.censored_path if resolver is not None else True
@@ -387,7 +384,7 @@ def build_scenario(
                 hop=gfw_hop,
                 config=config,
                 clock=clock,
-                rng=random.Random(rng.randrange(2**31)),
+                rng=rng.spawn(),
                 cluster=cluster,
             )
             device.dns_poisoner = poisoner
@@ -399,23 +396,20 @@ def build_scenario(
     client_profile = _profile_variant("linux-4.4", False)
     server_profile = _server_profile(website)
     if reuse is None:
+        # The endpoint stacks draw only their ISNs — values that never
+        # steer control flow — so their streams record opaquely and a
+        # replay candidate can match across seeds.
         client_tcp = TCPHost(
-            client, clock, profile=client_profile,
-            rng=random.Random(rng.randrange(2**31)),
+            client, clock, profile=client_profile, rng=rng.spawn(opaque=True),
         )
         server_tcp = TCPHost(
-            server, clock, profile=server_profile,
-            rng=random.Random(rng.randrange(2**31)),
+            server, clock, profile=server_profile, rng=rng.spawn(opaque=True),
         )
     else:
         client_tcp = reuse.client_tcp
-        client_tcp.reset(
-            profile=client_profile, rng=random.Random(rng.randrange(2**31))
-        )
+        client_tcp.reset(profile=client_profile, rng=rng.spawn(opaque=True))
         server_tcp = reuse.server_tcp
-        server_tcp.reset(
-            profile=server_profile, rng=random.Random(rng.randrange(2**31))
-        )
+        server_tcp.reset(profile=server_profile, rng=rng.spawn(opaque=True))
 
     scenario = Scenario(
         clock=clock,

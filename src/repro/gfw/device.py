@@ -146,11 +146,11 @@ class GFWDevice(Tap):
         # NB3 behaviour is consistent per installation per period (§4, §8):
         # draw once per cluster and share across co-located devices.
         if not hasattr(self.cluster, "rst_resyncs_established"):
-            self.cluster.rst_resyncs_established = (
-                self.cluster.rng.random() < config.resync_on_rst_probability
+            self.cluster.rst_resyncs_established = self.cluster.rng.coin(
+                config.resync_on_rst_probability
             )
-            self.cluster.rst_resyncs_handshake = (
-                self.cluster.rng.random() < config.resync_on_rst_handshake_probability
+            self.cluster.rst_resyncs_handshake = self.cluster.rng.coin(
+                config.resync_on_rst_handshake_probability
             )
 
     # ------------------------------------------------------------------

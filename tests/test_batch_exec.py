@@ -80,15 +80,18 @@ def _batched_records(tasks, window):
 def _trial_semantic(delta):
     """Strip execution-strategy counters from a telemetry delta.
 
-    ``scenario.built/reused/evicted`` and ``pool.*`` legitimately differ
-    between serial and batched runs (batching leases a window of live
-    scenarios and harvests dead packets); everything else — GFW, DPI,
-    TCP, trial outcome metrics — must not.
+    ``scenario.built/reused/evicted``, ``pool.*``, ``netsim.*``,
+    ``result_cache.*`` and ``replay.*`` legitimately differ between
+    serial, batched and replayed runs (they describe what the execution
+    engine did, not what the simulated trial did); everything else —
+    GFW, DPI, TCP, trial outcome metrics — must not.
     """
+    from repro.experiments.replay import ENGINE_PREFIXES
+
     counters = {
         name: value
         for name, value in delta["counters"].items()
-        if not name.startswith(("scenario.", "pool."))
+        if not name.startswith(ENGINE_PREFIXES)
     }
     return counters, delta["histograms"]
 

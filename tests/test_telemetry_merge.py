@@ -12,14 +12,24 @@ from repro.experiments import (
     run_http_trial,
 )
 from repro.experiments.parallel import map_trials, shutdown_pool
+from repro.experiments.replay import ENGINE_PREFIXES
 from repro.telemetry import MetricsRegistry, get_registry
 
 
 def _mergeable(snapshot):
     """The order-independently mergeable part of a snapshot: counters and
-    histogram buckets (gauges merge by max and are compared separately)."""
+    histogram buckets (gauges merge by max and are compared separately).
+
+    Engine-owned instruments are stripped: how much pool/replay/netsim
+    work each process performed depends on its warm state (fork-inherited
+    scenario pools, recorded replay programs), not on the trials — only
+    trial-owned accounting must merge identically."""
     return {
-        "counters": snapshot["counters"],
+        "counters": {
+            name: value
+            for name, value in snapshot["counters"].items()
+            if not name.startswith(ENGINE_PREFIXES)
+        },
         "histograms": snapshot["histograms"],
     }
 
