@@ -31,6 +31,12 @@ from repro.analysis.discrepancy import (
     derive_table5,
     generate_table3,
 )
+from repro.analysis.inconsistency import (
+    InconsistencyReport,
+    VerdictDistribution,
+    run_inconsistency,
+    wilson_interval,
+)
 
 __all__ = [
     "IgnoreProbe",
@@ -45,4 +51,8 @@ __all__ = [
     "cross_validate_stacks",
     "derive_table5",
     "generate_table3",
+    "InconsistencyReport",
+    "VerdictDistribution",
+    "run_inconsistency",
+    "wilson_interval",
 ]

@@ -20,6 +20,7 @@
     python -m repro conformance run         # full differential matrix
     python -m repro conformance diff        # show drift vs tests/golden/
     python -m repro conformance bless       # accept new golden artifacts
+    python -m repro inconsistency run       # Ensafi-style vantage x hour sweep
 
 Everything prints to stdout; sizes are small by default so each command
 finishes in seconds.
@@ -670,6 +671,83 @@ def _telemetry_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inconsistency(args: argparse.Namespace) -> int:
+    """Ensafi-style inconsistency characterization (`inconsistency run`)."""
+    import json as json_module
+
+    from repro.analysis.inconsistency import (
+        DEFAULT_STRATEGIES,
+        run_inconsistency,
+    )
+    from repro.experiments.tables import (
+        format_churn_timeline,
+        format_diurnal_curve,
+        format_disagreement_matrix,
+    )
+    from repro.gfw.heterogeneity import RouteEnsemble, use_ensemble
+
+    hours = [float(h) for h in args.hours.split(",") if h]
+    strategies = (
+        args.strategies.split(",") if args.strategies else DEFAULT_STRATEGIES
+    )
+    ensemble = (
+        RouteEnsemble(seed=args.ensemble_seed)
+        if args.ensemble_seed is not None
+        else None
+    )
+    print(
+        f"inconsistency: {args.vantages} vantages x {len(hours)} hours x "
+        f"{len(strategies)} strategies x {args.repeats} repeats "
+        f"(seed {args.seed})",
+        file=sys.stderr,
+    )
+    with use_ensemble(ensemble) if ensemble is not None else _nullcontext():
+        report = run_inconsistency(
+            vantages=args.vantages,
+            hours=hours,
+            strategies=strategies,
+            repeats=args.repeats,
+            seed=args.seed,
+            workers=args.workers,
+            shards=args.shards,
+        )
+    payload_json = report.to_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload_json + "\n")
+        print(f"inconsistency: report written to {args.out}", file=sys.stderr)
+    if args.json:
+        print(payload_json)
+        return 0
+    print(
+        format_disagreement_matrix(
+            report.disagreement_matrix(), report.vantage_names
+        )
+    )
+    print()
+    print(format_diurnal_curve(report.diurnal_curve()))
+    print()
+    print(format_churn_timeline(report.churn_timeline()))
+    print()
+    disagreeing = report.disagreeing_strategies()
+    routes = json_module.dumps(
+        {name: info["member_variant"] for name, info in report.routes.items()},
+        sort_keys=True,
+    )
+    print(f"route members: {routes}")
+    print(
+        f"{len(disagreeing)}/{len(report.strategies)} strategies see "
+        f"route disagreement: {', '.join(disagreeing) or '(none)'}"
+    )
+    return 0
+
+
+def _nullcontext():
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     """Run a fleet workload: many client flows, one shared GFW.
 
@@ -1119,6 +1197,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="[diff] ladder-diff lines to show per cell")
 
     p = sub.add_parser(
+        "inconsistency",
+        help="Ensafi-style sweep: vantage × hour grid vs the "
+             "heterogeneous GFW, reduced to disagreement/diurnal/churn",
+    )
+    p.add_argument("mode", choices=("run",))
+    p.add_argument("--vantages", type=int, default=8,
+                   help="synthetic lab vantage points (routes)")
+    p.add_argument("--hours", default="0,6,12,18",
+                   help="comma-separated simulated hours-of-day")
+    p.add_argument("--strategies", default=None,
+                   help="comma-separated strategy ids (default: the "
+                        "generation-discriminating subset)")
+    p.add_argument("--repeats", type=int, default=6,
+                   help="trials per (vantage, hour, strategy) cell")
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--ensemble-seed", type=int, default=None,
+                   dest="ensemble_seed",
+                   help="route-assignment seed (default: the built-in "
+                        "ensemble's)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="persistent shard runner over the cell grid "
+                        "(byte-identical to serial)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: REPRO_WORKERS)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as canonical JSON")
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report here")
+
+    p = sub.add_parser(
         "fleet",
         help="fleet workload: thousands of client flows, one shared GFW",
     )
@@ -1258,6 +1366,7 @@ _COMMANDS = {
     "ladder": _cmd_ladder,
     "perf": _cmd_perf,
     "conformance": _cmd_conformance,
+    "inconsistency": _cmd_inconsistency,
     "telemetry": _cmd_telemetry,
     "fleet": _cmd_fleet,
     "obs": _cmd_obs,

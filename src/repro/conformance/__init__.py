@@ -23,6 +23,7 @@ Exposed on the command line as ``repro conformance run|diff|bless``.
 
 from repro.conformance.matrix import (
     CONFORMANCE_PROFILES,
+    CONFORMANCE_VARIANTS,
     ConformanceCell,
     CellResult,
     FAULT_GRID,
@@ -51,6 +52,7 @@ from repro.conformance.golden import (
 
 __all__ = [
     "CONFORMANCE_PROFILES",
+    "CONFORMANCE_VARIANTS",
     "ConformanceCell",
     "CellResult",
     "FAULT_GRID",

@@ -25,17 +25,20 @@ import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.inconsistency import VerdictDistribution
 from repro.experiments.calibration import CLEAN_ROOM, Calibration
 from repro.experiments.parallel import map_trials, run_sharded
 from repro.experiments.vantage import VantagePoint, vantage_by_name
 from repro.experiments.websites import Website, outside_china_catalog
-from repro.gfw.models import MODEL_VARIANTS, model_variant_configs
+from repro.gfw.heterogeneity import HETEROGENEOUS_VARIANT, validate_variant
+from repro.gfw.models import MODEL_VARIANTS
 from repro.strategies.registry import STRATEGY_REGISTRY
 from repro.telemetry.flight import get_flight
 from repro.telemetry.trace import get_tracer
 
 __all__ = [
     "CONFORMANCE_PROFILES",
+    "CONFORMANCE_VARIANTS",
     "ConformanceCell",
     "CellResult",
     "DEFAULT_REPEATS",
@@ -54,6 +57,17 @@ __all__ = [
 #: Matrix-wide defaults; the CLI exposes both as flags.
 DEFAULT_REPEATS = 6
 DEFAULT_SEED = 2017
+
+#: The full conformance variant axis: every registered model variant
+#: plus the ``heterogeneous`` pseudo-variant, which resolves to one
+#: member per (vantage, target) route and layers the diurnal
+#: reset-suppression curve on top (extension, not paper — see
+#: :mod:`repro.gfw.heterogeneity`).  ``MODEL_VARIANTS`` itself stays
+#: untouched: fleet defaults and population draws never pick
+#: ``heterogeneous`` implicitly.
+CONFORMANCE_VARIANTS: Tuple[str, ...] = tuple(MODEL_VARIANTS) + (
+    HETEROGENEOUS_VARIANT,
+)
 
 
 @dataclass(frozen=True)
@@ -161,13 +175,27 @@ class CellResult:
     def verdict(self) -> str:
         return classify_counts(self.success, self.failure1, self.failure2)
 
+    @property
+    def distribution(self) -> VerdictDistribution:
+        """The distribution-valued view of the cell (counts + Wilson
+        bounds); ``verdict`` above remains the point estimate."""
+        return VerdictDistribution(self.success, self.failure1, self.failure2)
+
     def as_payload(self) -> Dict:
-        """A JSON-representable image (golden verdict snapshot rows)."""
+        """A JSON-representable image (golden verdict snapshot rows).
+
+        Every distribution-valued cell carries its Wilson confidence
+        bounds on the success proportion; golden comparison keys on the
+        ``verdict`` string, so the bounds are additive, not behavioural.
+        """
+        low, high = self.distribution.wilson()
         return {
             "verdict": self.verdict,
             "success": self.success,
             "failure1": self.failure1,
             "failure2": self.failure2,
+            "wilson_low": round(low, 6),
+            "wilson_high": round(high, 6),
         }
 
 
@@ -212,7 +240,7 @@ def default_cells(
 ) -> List[ConformanceCell]:
     """Enumerate the matrix in deterministic (registry) order."""
     strategy_ids = list(strategies or STRATEGY_REGISTRY)
-    variant_ids = list(variants or MODEL_VARIANTS)
+    variant_ids = list(variants or CONFORMANCE_VARIANTS)
     profile_ids = list(profiles or CONFORMANCE_PROFILES)
     fault_points = [fault_by_name(name) for name in faults] if faults else list(FAULT_GRID)
     for strategy_id in strategy_ids:
@@ -220,7 +248,7 @@ def default_cells(
             known = ", ".join(sorted(STRATEGY_REGISTRY))
             raise KeyError(f"unknown strategy {strategy_id!r} (known: {known})")
     for variant in variant_ids:
-        model_variant_configs(variant)  # raises with the known list
+        validate_variant(variant)  # raises with the known list
     for profile in profile_ids:
         profile_vantage(profile)
     return [

@@ -106,6 +106,57 @@ class VerdictDrift:
 # degraded-network rows sit at the bottom.
 # ---------------------------------------------------------------------------
 ORACLE_RULES: List[OracleRule] = [
+    # -- Heterogeneous pseudo-variant (extension, not paper) --------------
+    # These cells run the Ensafi-style spatiotemporal model
+    # (repro/gfw/heterogeneity.py): the route draws one member variant
+    # (evolved/mixed/old) and a diurnal reset-suppression curve, so
+    # verdicts here are *distributions* whose point estimate can differ
+    # per route.  The block sits above every paper rule because the
+    # variant="*" middlebox carve-outs below pin single verdicts that
+    # load suppression is allowed to soften.  First the route-invariant
+    # pins — behaviours Ensafi-style heterogeneity provably cannot flip
+    # — then the catch-all that defers the route-dependent rest to the
+    # blessed golden snapshot.
+    OracleRule(
+        "ooo-ip-fragments", "heterogeneous", "aliyun", "clean", ("broken",),
+        "Extension (Ensafi et al., spatiotemporal inconsistencies): "
+        "route-invariant — Aliyun's DISCARD fragment policy (Table 2) "
+        "kills the fragmented request before *any* censor generation "
+        "sees it, so no member variant or diurnal load level can change "
+        "the silence",
+    ),
+    OracleRule(
+        "improved-tcb-teardown", "heterogeneous", "*", "clean", ("evades",),
+        "Extension (Ensafi et al.): route-invariant — §6.2's improved "
+        "teardown evades old, evolved and mixed installations alike "
+        "(golden: evades on every member variant), and load suppression "
+        "only ever adds successes; per-path rule differences cannot "
+        "surface here",
+    ),
+    OracleRule(
+        "tcb-teardown+tcb-reversal", "heterogeneous", "*", "clean",
+        ("evades",),
+        "Extension (Ensafi et al.) + §7.1: combining strategies 'because "
+        "both generations co-exist on real paths' is precisely the hedge "
+        "against per-route heterogeneity — the combination evades "
+        "whichever member variant the route ensemble draws",
+    ),
+    OracleRule(
+        "none", "heterogeneous", "*", "*", ("blocked", "mixed", "evades"),
+        "Extension (Ensafi et al.): diurnal load-dependent failure to "
+        "inject RSTs — at peak hours a detected flow may draw no "
+        "enforcement at all, so the no-strategy baseline wobbles from "
+        "blocked toward mixed/evades with the route's suppression curve "
+        "(never 'broken': nothing else kills the connection)",
+    ),
+    OracleRule(
+        "*", "heterogeneous", "*", "*",
+        ("evades", "blocked", "broken", "mixed"),
+        "Extension (Ensafi et al.): route-dependent cells — the verdict "
+        "is whichever member variant the seeded ensemble assigned the "
+        "conformance route, softened by its temporal profile; pinned by "
+        "the golden snapshot rather than the oracle",
+    ),
     # -- Middlebox carve-outs (Table 2 / Table 5 / §7.1) ------------------
     OracleRule(
         "*bad-checksum", "*", "unicom-tj", "clean", ("blocked",),

@@ -117,6 +117,15 @@ class Calibration:
         (5, 0.20),
     )
 
+    # -- spatiotemporal heterogeneity (extension, not paper) -------------------------
+    #: Simulated hour-of-day (0–24) the trial runs at.  Only routes of
+    #: the ``heterogeneous`` GFW pseudo-variant consult it (diurnal
+    #: reset-suppression curves, :mod:`repro.gfw.heterogeneity`); every
+    #: paper-default experiment is hour-invariant.  A distinct hour also
+    #: changes the calibration fingerprint, so the replay/result-cache
+    #: tiers key hours apart instead of aliasing them.
+    sim_hour: float = 12.0
+
     # -- tool parameters ------------------------------------------------------------
     #: §3.4: insertion packets are repeated against loss.
     insertion_copies: int = 3

@@ -62,6 +62,11 @@ from repro.experiments.websites import Website, outside_china_catalog
 from repro.gfw.blacklist import Blacklist
 from repro.gfw.cluster import GFWCluster
 from repro.gfw.flow import FlowTable, GFWFlow, GFWFlowState
+from repro.gfw.heterogeneity import (
+    active_ensemble,
+    is_heterogeneous,
+    validate_variant,
+)
 from repro.gfw.models import model_variant_configs
 from repro.netsim.batch import BatchSim
 from repro.netstack.packet import recycle_packets
@@ -203,7 +208,7 @@ class FleetSpec:
             raise ValueError("strategies pool must not be empty")
         if self.max_flows is not None and self.max_flows < 1:
             raise ValueError("max_flows override must be >= 1")
-        model_variant_configs(self.gfw_variant)  # validates the name
+        validate_variant(self.gfw_variant)  # registered or heterogeneous
 
     def group_indices(self, group: int) -> range:
         """Global flow indices owned by ``group`` (round robin)."""
@@ -287,27 +292,16 @@ class SharedGFWState:
     """
 
     def __init__(self, spec: FleetSpec, group: int) -> None:
-        configs = model_variant_configs(spec.gfw_variant)
-        group_rng = random.Random(
-            zlib.crc32(f"{spec.seed}:{group}:gfw".encode()) & 0xFFFFFFFF
-        )
-        self.cluster = GFWCluster(
-            rng=random.Random(group_rng.randrange(2**31)),
-            miss_probability=configs[0].miss_probability,
-        )
-        # NB3 coins are drawn once per installation (device __init__
-        # only draws when the cluster lacks them); pre-draw here from
-        # the group RNG so grafted devices all share one consistent
-        # installation period.
-        self.cluster.rst_resyncs_established = (
-            self.cluster.rng.random() < configs[0].resync_on_rst_probability
-        )
-        self.cluster.rst_resyncs_handshake = (
-            self.cluster.rng.random() < configs[0].resync_on_rst_handshake_probability
-        )
+        self.spec = spec
+        self._hetero = is_heterogeneous(spec.gfw_variant)
         self.flow_tables: List[FlowTable] = []
         self.blacklists: List[Blacklist] = []
         self.blocked_ips: List[set] = []
+        self.clusters: List[GFWCluster] = []
+        #: member variant -> (its cluster, base index into the flat
+        #: per-position lists above).  Homogeneous groups hold exactly
+        #: one entry keyed by ``spec.gfw_variant``.
+        self._members: Dict[str, Tuple[GFWCluster, int]] = {}
         #: Flow ids whose TCB was evicted while still mid-stream.
         self.evicted_active_flows: Set[int] = set()
         #: namespace -> the namespaced flow-table key that was evicted
@@ -315,6 +309,46 @@ class SharedGFWState:
         self.evicted_keys: Dict[int, object] = {}
         self.evictions_in_resync = 0
         self._bus = get_bus()
+        if self._hetero:
+            # One full installation per ensemble member, living side by
+            # side: routes resolve to members, so wave N's blacklistings
+            # on an evolved route never leak onto an old-model route —
+            # exactly Ensafi's per-path state independence.  Seeds are
+            # salted per member, keeping serial == sharded.
+            for member in active_ensemble().members:
+                self._install_member(member, spec, group, salt=f":{member}")
+        else:
+            # Historical single-installation path: seed strings, draw
+            # order, and list layout byte-identical to before the
+            # heterogeneous axis existed (pinned by the fleet parity
+            # tests).
+            self._install_member(spec.gfw_variant, spec, group, salt="")
+        self.cluster = self.clusters[0]
+
+    def _install_member(
+        self, member: str, spec: FleetSpec, group: int, salt: str
+    ) -> None:
+        """Build one member installation (cluster + per-position state)."""
+        configs = model_variant_configs(member)
+        group_rng = random.Random(
+            zlib.crc32(f"{spec.seed}:{group}:gfw{salt}".encode()) & 0xFFFFFFFF
+        )
+        cluster = GFWCluster(
+            rng=random.Random(group_rng.randrange(2**31)),
+            miss_probability=configs[0].miss_probability,
+        )
+        # NB3 coins are drawn once per installation (device __init__
+        # only draws when the cluster lacks them); pre-draw here from
+        # the group RNG so grafted devices all share one consistent
+        # installation period.
+        cluster.rst_resyncs_established = (
+            cluster.rng.random() < configs[0].resync_on_rst_probability
+        )
+        cluster.rst_resyncs_handshake = (
+            cluster.rng.random() < configs[0].resync_on_rst_handshake_probability
+        )
+        self._members[member] = (cluster, len(self.flow_tables))
+        self.clusters.append(cluster)
         for config in configs:
             capacity = spec.max_flows or config.max_flows
             table = FlowTable(capacity)
@@ -357,11 +391,20 @@ class SharedGFWState:
         hooks (``detections``, reset counts) stay on the private
         device, so classification remains per-flow.
         """
+        member = self.spec.gfw_variant
+        if self._hetero:
+            # Same pure-crc32 resolution build_scenario used, so the
+            # grafted slice always matches the devices the build
+            # produced (device count == the member's config count).
+            member = active_ensemble().member_for(
+                scenario.vantage.name, scenario.website.name
+            )
+        cluster, base = self._members[member]
         for position, device in enumerate(scenario.gfw_devices):
-            device.flows = self.flow_tables[position]
-            device.blacklist = self.blacklists[position]
-            device.blocked_ips = self.blocked_ips[position]
-            device.cluster = self.cluster
+            device.flows = self.flow_tables[base + position]
+            device.blacklist = self.blacklists[base + position]
+            device.blocked_ips = self.blocked_ips[base + position]
+            device.cluster = cluster
             device.flow_namespace = flow_id
 
     def end_wave(self) -> None:
@@ -371,7 +414,8 @@ class SharedGFWState:
         clearing bounds the cache for million-flow runs.  Table,
         blacklist, and blocked-IP state live on — that is the load.
         """
-        self.cluster.new_trial()
+        for cluster in self.clusters:
+            cluster.new_trial()
 
     @property
     def peak_flows_tracked(self) -> int:

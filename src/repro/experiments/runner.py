@@ -587,12 +587,22 @@ def run_http_trial(
 
 @dataclass
 class RateTriple:
-    """Aggregated Success / Failure-1 / Failure-2 rates."""
+    """Aggregated Success / Failure-1 / Failure-2 rates.
+
+    Carries the raw outcome *counts* beside the historical rate floats,
+    so every table row can be read as a distribution-valued verdict
+    (``distribution``/``wilson``) instead of a bare point estimate.  The
+    count fields default to zero and sit after the originals, keeping
+    positional construction in older call sites valid.
+    """
 
     success: float = 0.0
     failure1: float = 0.0
     failure2: float = 0.0
     trials: int = 0
+    successes: int = 0
+    failure1s: int = 0
+    failure2s: int = 0
 
     @classmethod
     def from_outcomes(cls, outcomes: Iterable[Outcome]) -> "RateTriple":
@@ -608,10 +618,28 @@ class RateTriple:
             failure1=counts[Outcome.FAILURE1] / total,
             failure2=counts[Outcome.FAILURE2] / total,
             trials=total,
+            successes=counts[Outcome.SUCCESS],
+            failure1s=counts[Outcome.FAILURE1],
+            failure2s=counts[Outcome.FAILURE2],
         )
 
     def as_percentages(self) -> Tuple[float, float, float]:
         return (self.success * 100, self.failure1 * 100, self.failure2 * 100)
+
+    @property
+    def distribution(self):
+        """The counts as a :class:`~repro.analysis.inconsistency.
+        VerdictDistribution` (lazy import: the analysis layer must stay
+        optional for pickled pool workers)."""
+        from repro.analysis.inconsistency import VerdictDistribution
+
+        return VerdictDistribution(
+            self.successes, self.failure1s, self.failure2s
+        )
+
+    def wilson(self, z: float = 1.96) -> Tuple[float, float]:
+        """Wilson confidence bounds on the success rate."""
+        return self.distribution.wilson(z=z)
 
 
 def _http_outcome_worker(task: Tuple) -> Outcome:

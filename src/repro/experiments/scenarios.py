@@ -34,6 +34,7 @@ from repro.gfw.active_prober import ActiveProber
 from repro.gfw.cluster import GFWCluster
 from repro.gfw.device import GFWDevice
 from repro.gfw.dns_poisoner import DNSPoisoner
+from repro.gfw.heterogeneity import resolve_route
 from repro.gfw.models import (
     GFWConfig,
     evolved_config,
@@ -371,11 +372,27 @@ def build_scenario(
         if gfw_variant is not None:
             # Forced installation: exact configs, no population draws.
             # Fresh instances per build, so per-scenario mutation below
-            # cannot leak across matrix cells.
-            configs = model_variant_configs(gfw_variant)
+            # cannot leak across matrix cells.  The heterogeneous
+            # pseudo-variant resolves to one concrete member variant per
+            # (vantage, target) route — a pure crc32 function with no
+            # recorded draws, so pooled scenario reuse replays the same
+            # installation and the build draw order is untouched.
+            member_variant, temporal_profile = resolve_route(
+                gfw_variant, vantage.name, server_name
+            )
+            configs = model_variant_configs(member_variant)
             for config in configs:
                 config.miss_probability = calibration.gfw_miss_probability
                 config.rules.detect_tor = vantage.tor_filtered
+                if temporal_profile is not None:
+                    config.temporal = temporal_profile
+                    config.sim_hour = calibration.sim_hour
+                    # Blacklist TTL drift (Ensafi): scale the 90 s
+                    # window per route.
+                    config.blacklist_duration = (
+                        config.blacklist_duration
+                        * temporal_profile.ttl_factor
+                    )
         else:
             configs = _gfw_configs(rng, calibration, vantage)
         for index, config in enumerate(configs):

@@ -123,7 +123,74 @@ def format_table6(
 
 def format_rate_line(label: str, triple: RateTriple) -> str:
     s, f1, f2 = triple.as_percentages()
-    return (
+    line = (
         f"{label:<42} success={s:5.1f}%  failure1={f1:5.1f}%  "
         f"failure2={f2:5.1f}%  (n={triple.trials})"
     )
+    if triple.successes + triple.failure1s + triple.failure2s:
+        # Distribution-valued view: the Wilson 95 % band on the success
+        # rate, present whenever the triple carries raw counts.
+        low, high = triple.wilson()
+        line += f"  ci95=[{low * 100:.1f}%,{high * 100:.1f}%]"
+    return line
+
+
+def format_distribution_cell(distribution) -> str:
+    """One distribution-valued verdict cell: point verdict, counts, and
+    the Wilson 95 % interval on the success proportion."""
+    low, high = distribution.wilson()
+    return (
+        f"{distribution.verdict} {distribution.success}/{distribution.trials}"
+        f" [{low:.2f},{high:.2f}]"
+    )
+
+
+def format_disagreement_matrix(
+    matrix: Dict[str, Dict[str, str]],
+    routes: Sequence[str],
+    title: str = "Per-route disagreement matrix (verdicts across vantage points)",
+) -> str:
+    """Ensafi-style strategy × route verdict matrix; rows where the
+    verdict set has more than one element are flagged with ``!=``."""
+    headers = ["Strategy"] + [route.replace("route-vp-", "vp") for route in routes]
+    headers.append("agree?")
+    rows = []
+    for strategy, verdicts in matrix.items():
+        row = [strategy] + [verdicts.get(route, "-") for route in routes]
+        row.append("yes" if len(set(verdicts.values())) <= 1 else "!=")
+        rows.append(row)
+    return render_table(headers, rows, title)
+
+
+def format_diurnal_curve(
+    curve: Sequence[Dict],
+    title: str = "Diurnal reset suppression (all routes pooled)",
+) -> str:
+    headers = ["Hour", "Detections", "RSTs injected", "Suppressed", "Suppression"]
+    rows = [
+        [
+            f"{point['hour']:g}h",
+            str(point["detections"]),
+            str(point["resets_injected"]),
+            str(point["resets_suppressed"]),
+            pct(point["suppression_rate"] * 100),
+        ]
+        for point in curve
+    ]
+    return render_table(headers, rows, title)
+
+
+def format_churn_timeline(
+    timeline: Sequence[Dict],
+    title: str = "Blacklist churn (adds / TTL expirations per hour)",
+) -> str:
+    headers = ["Hour", "Blacklist adds", "TTL expirations"]
+    rows = [
+        [
+            f"{point['hour']:g}h",
+            str(point["blacklist_adds"]),
+            str(point["ttl_expirations"]),
+        ]
+        for point in timeline
+    ]
+    return render_table(headers, rows, title)

@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.telemetry.metrics import get_registry
+
 HostPair = Tuple[str, str]
+
+#: Entries that aged out of the window (read-side lazy expiry).  Beside
+#: ``total_blacklistings`` this gives the Ensafi-style blacklist-churn
+#: view: a re-match after expiry simply blacklists the pair again.
+_METRIC_TTL_EXPIRED = get_registry().counter("blacklist.ttl_expired")
 
 DEFAULT_BLACKLIST_DURATION = 90.0
 
@@ -22,6 +29,7 @@ class Blacklist:
         self.duration = duration
         self._expiry: Dict[HostPair, float] = {}
         self.total_blacklistings = 0
+        self.total_expirations = 0
 
     @staticmethod
     def _key(host_a: str, host_b: str) -> HostPair:
@@ -38,6 +46,8 @@ class Blacklist:
             return False
         if now >= expiry:
             del self._expiry[key]
+            self.total_expirations += 1
+            _METRIC_TTL_EXPIRED.inc()
             return False
         return True
 
@@ -48,6 +58,22 @@ class Blacklist:
         if expiry is None:
             return 0.0
         return max(0.0, expiry - now)
+
+    def sweep(self, now: float) -> int:
+        """Expire every stale entry now; returns how many aged out.
+
+        ``contains`` expires lazily on read, so a pair whose connection
+        died never materializes its expiry.  Measurement code (the
+        inconsistency sweep's blacklist-churn timeline) calls this at a
+        known sim time to account for those.
+        """
+        stale = [key for key, expiry in self._expiry.items() if now >= expiry]
+        for key in stale:
+            del self._expiry[key]
+        self.total_expirations += len(stale)
+        if stale:
+            _METRIC_TTL_EXPIRED.inc(len(stale))
+        return len(stale)
 
     def clear(self) -> None:
         self._expiry.clear()

@@ -59,6 +59,7 @@ from repro.gfw.flow import FlowTable, GFWFlow, GFWFlowState, connection_key
 from repro.gfw.models import GFWConfig
 from repro.gfw.resets import ResetInjector
 from repro.gfw.rules import Detection
+from repro.rngledger import as_trial_random
 from repro.telemetry.events import get_bus
 from repro.telemetry.metrics import get_registry
 
@@ -82,6 +83,10 @@ _METRIC_DPI_MATCH_LATENCY = _REGISTRY.histogram(
     "dpi.match_latency",
     buckets=(0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0),
 )
+#: Detections whose enforcement was suppressed by diurnal load — only
+#: devices with a ``TemporalProfile`` installed (the ``heterogeneous``
+#: route axis) ever increment it.
+_METRIC_RESET_SUPPRESSED = _REGISTRY.counter("gfw.reset_suppressed_load")
 
 
 class GFWDevice(Tap):
@@ -123,6 +128,16 @@ class GFWDevice(Tap):
         self.missed_detections: List[Tuple[float, Detection]] = []
         self.resets_injected = 0
         self.forged_synacks_injected = 0
+        #: Detections left unenforced by the diurnal load draw (Ensafi
+        #: failure-to-inject; zero unless ``config.temporal`` is set).
+        self.resets_suppressed = 0
+        # The suppression coin must be a recordable semantic draw so the
+        # replay ledger forks on it; scenario-built devices already hold
+        # a TrialRandom, plain-RNG constructions (tests) get a same-state
+        # wrapper.  Resolved once here — `_on_detection` is hot.
+        self._temporal_rng = (
+            as_trial_random(self.rng) if config.temporal is not None else None
+        )
         #: Stream bytes handed to DPI inspectors (resource accounting).
         self.bytes_inspected = 0
         #: Optional components, wired by the scenario builder.
@@ -506,6 +521,24 @@ class GFWDevice(Tap):
         if detection.kind == "tor" and self.active_prober is not None:
             self.active_prober.schedule_probe(
                 self, flow.believed_server[0], flow.believed_server[1], now
+            )
+            return
+        temporal = self.config.temporal
+        if temporal is not None and self._temporal_rng.coin(
+            temporal.reset_suppression(self.config.sim_hour)
+        ):
+            # Ensafi failure-to-inject: the DPI match stands, but the
+            # loaded injector emits no volley and records no blacklist
+            # entry.  One recorded coin per detected flow (`flow.punished`
+            # is already latched by the caller), so the replay tier forks
+            # on the draw instead of silently diverging.
+            self.resets_suppressed += 1
+            _METRIC_RESET_SUPPRESSED.inc()
+            self._bus.publish(
+                "gfw", "reset_suppressed", time=now, device=self.name,
+                namespace=self.flow_namespace,
+                sim_hour=self.config.sim_hour,
+                rule=detection.kind,
             )
             return
         self._punish(flow, now)

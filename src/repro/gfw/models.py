@@ -84,6 +84,17 @@ class GFWConfig:
     #: persistent ~2.8 % no-strategy success rate (§3.4).
     miss_probability: float = 0.028
     blacklist_duration: float = DEFAULT_BLACKLIST_DURATION
+    #: Diurnal load profile (a :class:`repro.gfw.heterogeneity.
+    #: TemporalProfile`, duck-typed to avoid the import cycle).  ``None``
+    #: — the default for every registered variant — means no load
+    #: modulation and, critically, no extra RNG draws: the historical
+    #: draw order and every replay/golden pin stay byte-identical.
+    #: Routes of the ``heterogeneous`` pseudo-variant get one installed
+    #: at scenario build.
+    temporal: object = None
+    #: Simulated hour-of-day the trial runs at; only consulted when
+    #: ``temporal`` is set (see ``Calibration.sim_hour``).
+    sim_hour: float = 12.0
     #: Sequence window tolerated around the expected client seq.
     seq_window: int = 65535
     #: This device performs Tor active probing (§7.3: absent on paths

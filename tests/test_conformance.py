@@ -14,6 +14,7 @@ import pytest
 
 from repro.conformance import (
     CONFORMANCE_PROFILES,
+    CONFORMANCE_VARIANTS,
     ConformanceCell,
     FAULT_GRID,
     check_verdicts,
@@ -86,7 +87,12 @@ def test_default_matrix_covers_required_axes():
     profiles = {cell.profile for cell in cells}
     faults = {cell.fault.name for cell in cells}
     assert strategies == set(STRATEGY_REGISTRY)  # every registered strategy
-    assert variants == set(MODEL_VARIANTS)
+    # Every registered model variant plus the heterogeneous pseudo-variant;
+    # MODEL_VARIANTS itself must stay free of it (fleet defaults and
+    # population draws never pick heterogeneous implicitly).
+    assert variants == set(CONFORMANCE_VARIANTS)
+    assert variants == set(MODEL_VARIANTS) | {"heterogeneous"}
+    assert "heterogeneous" not in MODEL_VARIANTS
     assert len(variants) >= 3
     assert profiles == set(CONFORMANCE_PROFILES)
     assert len(faults) >= 2

@@ -192,3 +192,60 @@ class TestINTANGWorkloadMatrix:
         assert dns.success
         assert tor.reconnect_ok and not tor.ip_blocked
         assert vpn.frames_ok and not vpn.reset
+
+
+class TestBlacklistTTLDrift:
+    """Drifting blacklist windows (spatiotemporal heterogeneity): the
+    90 s window is per-route now, so expiry must be exact at any scaled
+    duration — and a re-match after expiry is a fresh blacklisting."""
+
+    def test_non_wrap_ttl_drift_boundaries(self):
+        """A drift-scaled window (0.05 x 90 s) expires at exactly
+        now + duration, with monotonic non-wrapping timestamps."""
+        from repro.gfw.blacklist import Blacklist
+
+        blacklist = Blacklist(duration=4.5)
+        blacklist.add(CLIENT_IP, SERVER_IP, now=1000.0)
+        assert blacklist.remaining(CLIENT_IP, SERVER_IP, 1000.0) == 4.5
+        assert blacklist.contains(CLIENT_IP, SERVER_IP, 1004.4)
+        assert blacklist.remaining(CLIENT_IP, SERVER_IP, 1004.4) == \
+            pytest.approx(0.1)
+        # The boundary itself is out: now >= expiry expires.
+        assert not blacklist.contains(CLIENT_IP, SERVER_IP, 1004.5)
+        assert blacklist.total_expirations == 1
+        assert blacklist.remaining(CLIENT_IP, SERVER_IP, 1004.5) == 0.0
+        # Re-add restarts the full drifted window from the new now.
+        blacklist.add(CLIENT_IP, SERVER_IP, now=1004.5)
+        assert blacklist.contains(CLIENT_IP, SERVER_IP, 1008.9)
+        assert blacklist.total_blacklistings == 2
+        # sweep() materializes expiries nothing re-reads.
+        assert blacklist.sweep(2000.0) == 1
+        assert blacklist.total_expirations == 2
+        assert len(blacklist) == 0
+
+    def test_readd_after_expiry_publishes_blacklist_add_once_per_match(self):
+        """Regression: each DPI re-match after TTL expiry publishes
+        exactly one ``blacklist_add`` on the EventBus — no duplicate
+        event for the volley, no missing event for the re-add."""
+        from repro.telemetry.events import capturing
+
+        with capturing(clear=True) as bus:
+            world = mini_topology(seed=31)
+            world.gfw.blacklist.duration = 1.0  # expire between fetches
+            fetch(world)
+            assert detections(world) == 1
+            # The window has lapsed by the time the second, fresh
+            # connection re-matches the keyword.
+            fetch(world)
+            assert detections(world) == 2
+            assert not world.gfw.blacklist.contains(
+                CLIENT_IP, SERVER_IP, world.clock.now
+            )
+            adds = bus.events(component="gfw", kind="blacklist_add")
+        assert len(adds) == 2
+        assert all(
+            {event.fields["client"], event.fields["server"]}
+            == {CLIENT_IP, SERVER_IP}
+            for event in adds
+        )
+        assert adds[0].time < adds[1].time
